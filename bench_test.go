@@ -1,0 +1,329 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation section, plus ablations over the design choices DESIGN.md
+// calls out and microbenchmarks of the simulator's hot paths.
+//
+// Each BenchmarkFigN/BenchmarkTable4 iteration performs the full
+// experiment (all systems on a reduced-scale workload set) and reports
+// simulated-cycles-per-wall-second style throughput via custom metrics.
+// Run the real full-scale reproduction with cmd/experiments.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/dsm"
+	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/memory"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// benchScale keeps one experiment iteration around a second.
+const benchScale = 8
+
+func benchOpts() harness.Options {
+	return harness.Options{Scale: benchScale, Parallel: 4, Out: io.Discard}
+}
+
+// reportMeans attaches each system's mean normalized execution time as a
+// benchmark metric, so `go test -bench` output carries the figures'
+// headline numbers.
+func reportMeans(b *testing.B, r *harness.Result) {
+	b.Helper()
+	for _, sys := range r.Systems {
+		b.ReportMetric(r.MeanNorm(sys), "norm-"+sys)
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5: the base comparison of CC-NUMA,
+// Rep, Mig, MigRep, R-NUMA and R-NUMA-Inf over the seven applications.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMeans(b, r)
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: per-node page operations and
+// remote miss breakdowns.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Table4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMeans(b, r)
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6: fast versus slow page-operation
+// support.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMeans(b, r)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: the 4x network latency study.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMeans(b, r)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8: page-cache halving and the
+// R-NUMA+MigRep integration.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Fig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			reportMeans(b, r)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Per-application replay benchmarks: simulator throughput on each
+// workload (trace generated once outside the timed loop).
+
+func benchReplay(b *testing.B, app string, spec dsm.Spec) {
+	info, err := apps.ByName(app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := info.Generate(apps.Params{CPUs: 32, Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := config.DefaultCluster()
+	tm, th := config.Default(), config.DefaultThresholds()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dsm.Run(tr, spec, cl, tm, th); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tr.Ops()), "trace-ops")
+}
+
+func BenchmarkReplay(b *testing.B) {
+	for _, app := range []string{"barnes", "cholesky", "fmm", "lu", "ocean", "radix", "raytrace"} {
+		for _, spec := range []dsm.Spec{dsm.CCNUMA(), dsm.MigRep(), dsm.RNUMA()} {
+			b.Run(fmt.Sprintf("%s/%s", app, spec.Name), func(b *testing.B) {
+				benchReplay(b, app, spec)
+			})
+		}
+	}
+}
+
+// BenchmarkTraceGeneration measures workload generation alone.
+func BenchmarkTraceGeneration(b *testing.B) {
+	for _, app := range []string{"lu", "radix", "barnes"} {
+		b.Run(app, func(b *testing.B) {
+			info, err := apps.ByName(app)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := info.Generate(apps.Params{CPUs: 32, Scale: benchScale}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations: design choices called out in DESIGN.md.
+
+// BenchmarkAblationBlockCacheSize sweeps the CC-NUMA block cache from a
+// quarter to 4x the paper's 64 KB: how much SRAM does the cluster cache
+// need before R-NUMA's DRAM page cache stops mattering?
+func BenchmarkAblationBlockCacheSize(b *testing.B) {
+	info, _ := apps.ByName("radix")
+	tr, err := info.Generate(apps.Params{CPUs: 32, Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := config.DefaultCluster()
+	tm, th := config.Default(), config.DefaultThresholds()
+	for _, kb := range []int{16, 32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("%dKB", kb), func(b *testing.B) {
+			spec := dsm.CCNUMA()
+			spec.BlockCacheBytes = kb * 1024
+			var last *stats.Sim
+			for i := 0; i < b.N; i++ {
+				sim, err := dsm.Run(tr, spec, cl, tm, th)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = sim
+			}
+			b.ReportMetric(float64(last.TotalRemoteMisses()), "remote-misses")
+		})
+	}
+}
+
+// BenchmarkAblationPageCacheSize sweeps the R-NUMA page cache (the
+// Figure 8 cost question) on the capacity-bound workload.
+func BenchmarkAblationPageCacheSize(b *testing.B) {
+	info, _ := apps.ByName("radix")
+	tr, err := info.Generate(apps.Params{CPUs: 32, Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := config.DefaultCluster()
+	tm, th := config.Default(), config.DefaultThresholds()
+	for _, frac := range []int{8, 4, 2, 1} {
+		b.Run(fmt.Sprintf("1_%d", frac), func(b *testing.B) {
+			spec := dsm.RNUMA()
+			spec.PageCacheBytes = config.PageCacheBytes / frac
+			var last *stats.Sim
+			for i := 0; i < b.N; i++ {
+				sim, err := dsm.Run(tr, spec, cl, tm, th)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = sim
+			}
+			b.ReportMetric(float64(last.PageOpsByKind(stats.Replacement)), "replacements")
+		})
+	}
+}
+
+// BenchmarkAblationRNUMAThreshold sweeps the relocation threshold: the
+// paper's 32 sits between eager thrashing and missed opportunity.
+func BenchmarkAblationRNUMAThreshold(b *testing.B) {
+	info, _ := apps.ByName("lu")
+	tr, err := info.Generate(apps.Params{CPUs: 32, Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := config.DefaultCluster()
+	tm := config.Default()
+	for _, thr := range []int{8, 16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("T%d", thr), func(b *testing.B) {
+			th := config.DefaultThresholds()
+			th.RNUMAThreshold = thr
+			var last *stats.Sim
+			for i := 0; i < b.N; i++ {
+				sim, err := dsm.Run(tr, dsm.RNUMA(), cl, tm, th)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = sim
+			}
+			b.ReportMetric(float64(last.PageOpsByKind(stats.Relocation)), "relocations")
+			b.ReportMetric(float64(last.ExecCycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkAblationNetworkLatency sweeps the wire latency (the Figure 7
+// axis) on one workload for all three systems.
+func BenchmarkAblationNetworkLatency(b *testing.B) {
+	info, _ := apps.ByName("ocean")
+	tr, err := info.Generate(apps.Params{CPUs: 32, Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := config.DefaultCluster()
+	th := config.DefaultThresholds()
+	for _, f := range []int64{1, 4, 8} {
+		for _, spec := range []dsm.Spec{dsm.CCNUMA(), dsm.RNUMA()} {
+			b.Run(fmt.Sprintf("%dx/%s", f, spec.Name), func(b *testing.B) {
+				tm := config.Default().ScaleNetwork(f)
+				var last *stats.Sim
+				for i := 0; i < b.N; i++ {
+					sim, err := dsm.Run(tr, spec, cl, tm, th)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = sim
+				}
+				b.ReportMetric(float64(last.ExecCycles), "cycles")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationReactiveVsStatic compares R-NUMA's reactive page
+// selection against the static S-COMA policy on the page-cache-bound
+// workload: the reactive filter admits only pages that earn their frame.
+func BenchmarkAblationReactiveVsStatic(b *testing.B) {
+	info, _ := apps.ByName("radix")
+	tr, err := info.Generate(apps.Params{CPUs: 32, Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := config.DefaultCluster()
+	tm, th := config.Default(), config.DefaultThresholds()
+	for _, spec := range []dsm.Spec{dsm.RNUMA(), dsm.SCOMA()} {
+		b.Run(spec.Name, func(b *testing.B) {
+			var last *stats.Sim
+			for i := 0; i < b.N; i++ {
+				sim, err := dsm.Run(tr, spec, cl, tm, th)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = sim
+			}
+			b.ReportMetric(float64(last.ExecCycles), "cycles")
+			b.ReportMetric(float64(last.PageOpsByKind(stats.Replacement)), "replacements")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Microbenchmarks of the simulator's hot paths.
+
+func BenchmarkResourceAcquire(b *testing.B) {
+	r := engine.NewResource("bus")
+	var t engine.Time
+	for i := 0; i < b.N; i++ {
+		t = r.Acquire(t, 24)
+	}
+}
+
+func BenchmarkSchedulerStep(b *testing.B) {
+	s := engine.NewScheduler(32)
+	for i := 0; i < b.N; i++ {
+		c := s.Next()
+		c.Clock += int64(i%7) + 1
+		s.Yield(c)
+	}
+}
+
+func BenchmarkRecorderAccess(b *testing.B) {
+	r := trace.NewRecorder()
+	for i := 0; i < b.N; i++ {
+		r.Access(memory.Addr(i*8), i%5 == 0)
+	}
+}

@@ -1,0 +1,117 @@
+// Command dsmsim runs one application on one simulated DSM system and
+// prints the collected statistics.
+//
+// Usage:
+//
+//	dsmsim -app lu -system rnuma [-scale 4] [-slow] [-netscale 4] [-verbose]
+//
+// Systems: perfect, ccnuma, rep, mig, migrep, rnuma, rnuma-inf,
+// rnuma-half, rnuma-half-migrep, scoma.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/dsm"
+)
+
+func systemByName(name string, th config.Thresholds) (dsm.Spec, error) {
+	switch strings.ToLower(name) {
+	case "perfect":
+		return dsm.PerfectCCNUMA(), nil
+	case "ccnuma":
+		return dsm.CCNUMA(), nil
+	case "rep":
+		return dsm.Rep(), nil
+	case "mig":
+		return dsm.Mig(), nil
+	case "migrep":
+		return dsm.MigRep(), nil
+	case "rnuma":
+		return dsm.RNUMA(), nil
+	case "rnuma-inf":
+		return dsm.RNUMAInf(), nil
+	case "rnuma-half":
+		return dsm.RNUMAHalf(), nil
+	case "rnuma-half-migrep":
+		return dsm.RNUMAHalfMigRep(th.MigRepResetInterval), nil
+	case "scoma":
+		return dsm.SCOMA(), nil
+	default:
+		return dsm.Spec{}, fmt.Errorf("unknown system %q", name)
+	}
+}
+
+func main() {
+	var (
+		appName  = flag.String("app", "lu", "application (see -list)")
+		system   = flag.String("system", "ccnuma", "system to simulate")
+		scale    = flag.Int("scale", 1, "problem-size divisor (1 = full size)")
+		slow     = flag.Bool("slow", false, "use slow page-operation support")
+		netScale = flag.Int64("netscale", 1, "network latency multiplier")
+		baseline = flag.Bool("normalize", false, "also run perfect CC-NUMA and print normalized time")
+		perNode  = flag.Bool("pernode", false, "print the per-node statistics table")
+		list     = flag.Bool("list", false, "list applications and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, i := range apps.All() {
+			fmt.Printf("%-10s %s (default input: %s)\n", i.Name, i.Description, i.Input)
+		}
+		return
+	}
+
+	tm, th := config.Default(), config.DefaultThresholds()
+	if *slow {
+		tm, th = config.Slow(), config.SlowThresholds()
+	}
+	if *netScale > 1 {
+		tm = tm.ScaleNetwork(*netScale)
+	}
+	cl := config.DefaultCluster()
+
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spec, err := systemByName(*system, th)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	tr, err := app.Generate(apps.Params{CPUs: cl.TotalCPUs(), Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: %d ops, %.2f MB shared footprint, %d barriers, %d locks\n",
+		tr.Ops(), float64(tr.Footprint)/(1<<20), tr.Barriers, tr.Locks)
+
+	sim, err := dsm.Run(tr, spec, cl, tm, th)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(sim.Summary())
+	if *perNode {
+		fmt.Print(sim.PerNodeReport())
+	}
+
+	if *baseline {
+		base, err := dsm.Run(tr, dsm.PerfectCCNUMA(), cl, config.Default(), th)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  normalized:     %.3f vs perfect CC-NUMA (%d cycles)\n",
+			sim.Normalized(base), base.ExecCycles)
+	}
+}

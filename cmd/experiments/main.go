@@ -1,0 +1,104 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                      # run everything at full scale
+//	experiments -experiment fig5     # one experiment
+//	experiments -scale 4 -parallel 8 # smaller inputs, concurrent runs
+//	experiments -experiment params   # print the encoded Tables 2 and 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/harness"
+)
+
+func printParams() {
+	fmt.Println("Table 2: applications and input parameters")
+	for _, i := range apps.Paper() {
+		fmt.Printf("  %-10s %-48s %s\n", i.Name, i.Description, i.Input)
+	}
+	fmt.Println()
+	fmt.Println("Table 3: base system cost assumptions (600 MHz processor cycles)")
+	t := config.Default()
+	rows := [][2]string{
+		{"network latency", fmt.Sprint(t.NetworkLatency)},
+		{"local miss latency", fmt.Sprint(t.LocalMiss)},
+		{"round-trip remote miss latency", fmt.Sprint(t.RemoteMiss)},
+		{"soft trap", fmt.Sprint(t.SoftTrap)},
+		{"TLB shootdown", fmt.Sprint(t.TLBShootdown)},
+		{"alloc/replacement or R-NUMA relocation", fmt.Sprintf("%d~%d", t.PageOpCost(0), t.PageOpCost(config.BlocksPerPage))},
+		{"page invalidation and data gathering", fmt.Sprintf("%d~%d", t.GatherCost(0), t.GatherCost(config.BlocksPerPage))},
+		{"page copying", fmt.Sprintf("%d~%d", t.CopyCost(0), t.CopyCost(config.BlocksPerPage))},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-42s %s\n", r[0], r[1])
+	}
+	fmt.Println()
+	fmt.Println("Thresholds: MigRep 800 misses (reset 32000), R-NUMA 32 misses;")
+	fmt.Println("slow systems: 1200 and 64.")
+}
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "all", "experiment: fig5, table4, fig6, fig7, fig8, params, all")
+		scale    = flag.Int("scale", 1, "problem-size divisor (1 = full size)")
+		appsFlag = flag.String("apps", "", "comma-separated app subset (default: the paper's seven)")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations per app (0 = serial)")
+		verbose  = flag.Bool("verbose", false, "print per-run progress")
+		csvPath  = flag.String("csv", "", "also append machine-readable rows to this file")
+	)
+	flag.Parse()
+
+	if *exp == "params" {
+		printParams()
+		return
+	}
+
+	o := harness.Options{
+		Scale:    *scale,
+		Parallel: *parallel,
+		Verbose:  *verbose,
+		Out:      os.Stdout,
+	}
+	if *appsFlag != "" {
+		o.Apps = strings.Split(*appsFlag, ",")
+	}
+
+	var csvFile *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvFile = f
+	}
+
+	names := harness.Experiments()
+	if *exp != "all" {
+		names = []string{*exp}
+	}
+	for _, n := range names {
+		r, err := harness.RunByName(n, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if csvFile != nil {
+			if err := r.WriteCSV(csvFile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Println()
+	}
+}

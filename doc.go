@@ -1,0 +1,11 @@
+// Package repro is a reproduction of Lai & Falsafi, "Comparing the
+// Effectiveness of Fine-Grain Memory Caching against Page
+// Migration/Replication in Reducing Traffic in DSM Clusters" (SPAA
+// 2000): a simulated cluster of eight 4-way SMPs with CC-NUMA,
+// CC-NUMA+MigRep and R-NUMA memory systems, seven SPLASH-2-style
+// shared-memory applications, and a harness regenerating every table and
+// figure of the paper's evaluation.
+//
+// See README.md for the layout, cmd/experiments for the reproduction
+// driver, and bench_test.go (this directory) for per-figure benchmarks.
+package repro

@@ -1,0 +1,49 @@
+// Latencysweep reproduces the Figure 7 experiment as a curve: how the
+// three main systems respond as the network latency grows from the base
+// 80 cycles to 8x that (remote:local ratios of 4 to 32). The paper's
+// observation — CC-NUMA degrades fastest, R-NUMA is the most latency
+// tolerant — appears as the divergence of the rows.
+//
+//	go run ./examples/latencysweep [-app radix] [-scale 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+func main() {
+	app := flag.String("app", "radix", "application to sweep")
+	scale := flag.Int("scale", 4, "problem-size divisor")
+	flag.Parse()
+
+	systems := []core.System{core.SystemCCNUMA, core.SystemMigRep, core.SystemRNUMA}
+	factors := []int64{1, 2, 4, 8}
+
+	fmt.Printf("normalized execution time of %s vs network latency\n", *app)
+	fmt.Printf("%-8s", "system")
+	for _, f := range factors {
+		fmt.Printf(" %7dx", f)
+	}
+	fmt.Println()
+
+	for _, sys := range systems {
+		fmt.Printf("%-8s", sys)
+		for _, f := range factors {
+			opts := core.Defaults()
+			opts.Scale = *scale
+			opts.Timing = config.Default().ScaleNetwork(f)
+			sess := core.NewSession(opts)
+			res, err := sess.Simulate(*app, sys)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %8.3f", res.Normalized)
+		}
+		fmt.Println()
+	}
+}

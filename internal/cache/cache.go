@@ -1,0 +1,430 @@
+// Package cache models the three caching structures of the simulated
+// cluster at coherence-block granularity: the per-processor direct-mapped
+// L1, the per-node set-associative SRAM block cache of CC-NUMA cluster
+// devices, and the per-node page-grain S-COMA page cache of R-NUMA with
+// its fine-grain block-presence tags.
+package cache
+
+import (
+	"repro/internal/config"
+	"repro/internal/memory"
+)
+
+// LineState is the coherence state of a cached block copy.
+type LineState uint8
+
+const (
+	// Invalid means the slot holds no valid block.
+	Invalid LineState = iota
+	// Shared means a clean, possibly multiply-cached copy.
+	Shared
+	// Modified means a dirty, exclusively writable copy.
+	Modified
+)
+
+// String names the state.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "invalid"
+	case Shared:
+		return "shared"
+	case Modified:
+		return "modified"
+	default:
+		return "?"
+	}
+}
+
+// Victim describes a block displaced from a cache.
+type Victim struct {
+	Block memory.Block
+	Dirty bool
+	Valid bool
+}
+
+// L1 is a direct-mapped processor cache modeled at block granularity.
+type L1 struct {
+	sets  uint64
+	tags  []memory.Block
+	state []LineState
+}
+
+// NewL1 builds a direct-mapped L1 of the given size in bytes.
+func NewL1(bytes int) *L1 {
+	sets := uint64(bytes / config.BlockBytes)
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic("cache: L1 size must be a power-of-two number of blocks")
+	}
+	return &L1{
+		sets:  sets,
+		tags:  make([]memory.Block, sets),
+		state: make([]LineState, sets),
+	}
+}
+
+// Sets returns the number of lines.
+func (c *L1) Sets() int { return int(c.sets) }
+
+func (c *L1) idx(b memory.Block) uint64 { return uint64(b) & (c.sets - 1) }
+
+// Lookup returns the state of block b in the cache (Invalid on miss).
+func (c *L1) Lookup(b memory.Block) LineState {
+	i := c.idx(b)
+	if c.state[i] != Invalid && c.tags[i] == b {
+		return c.state[i]
+	}
+	return Invalid
+}
+
+// SetState updates the state of a resident block. It panics if the block
+// is not resident — callers must have checked with Lookup.
+func (c *L1) SetState(b memory.Block, s LineState) {
+	i := c.idx(b)
+	if c.state[i] == Invalid || c.tags[i] != b {
+		panic("cache: SetState on non-resident block")
+	}
+	c.state[i] = s
+}
+
+// Insert places block b with the given state, returning the displaced
+// victim (Valid=false if the slot was empty). Inserting a block that is
+// already resident just updates its state and returns an invalid victim.
+func (c *L1) Insert(b memory.Block, s LineState) Victim {
+	i := c.idx(b)
+	var v Victim
+	if c.state[i] != Invalid {
+		if c.tags[i] == b {
+			c.state[i] = s
+			return Victim{}
+		}
+		v = Victim{Block: c.tags[i], Dirty: c.state[i] == Modified, Valid: true}
+	}
+	c.tags[i] = b
+	c.state[i] = s
+	return v
+}
+
+// Invalidate removes block b, returning whether it was present and dirty.
+func (c *L1) Invalidate(b memory.Block) (present, dirty bool) {
+	i := c.idx(b)
+	if c.state[i] == Invalid || c.tags[i] != b {
+		return false, false
+	}
+	dirty = c.state[i] == Modified
+	c.state[i] = Invalid
+	return true, dirty
+}
+
+// BlockCache is the per-node CC-NUMA cluster (remote/block) cache: N-way
+// set associative with LRU replacement. An infinite variant (Ways == 0)
+// backs the perfect-CC-NUMA baseline.
+type BlockCache struct {
+	sets uint64
+	ways int
+
+	// finite representation
+	tags  [][]memory.Block
+	state [][]LineState
+
+	// infinite representation
+	inf map[memory.Block]LineState
+}
+
+// NewBlockCache builds a block cache of the given total size and
+// associativity.
+func NewBlockCache(bytes, ways int) *BlockCache {
+	blocks := bytes / config.BlockBytes
+	sets := uint64(blocks / ways)
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic("cache: block cache sets must be a power of two")
+	}
+	c := &BlockCache{sets: sets, ways: ways}
+	c.tags = make([][]memory.Block, sets)
+	c.state = make([][]LineState, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]memory.Block, 0, ways)
+		c.state[i] = make([]LineState, 0, ways)
+	}
+	return c
+}
+
+// NewInfiniteBlockCache builds the perfect-CC-NUMA block cache: unbounded
+// capacity, no evictions.
+func NewInfiniteBlockCache() *BlockCache {
+	return &BlockCache{inf: make(map[memory.Block]LineState)}
+}
+
+// Infinite reports whether the cache is the unbounded variant.
+func (c *BlockCache) Infinite() bool { return c.inf != nil }
+
+func (c *BlockCache) set(b memory.Block) uint64 { return uint64(b) & (c.sets - 1) }
+
+// Lookup returns the block's state, promoting it to most-recently-used on
+// a hit.
+func (c *BlockCache) Lookup(b memory.Block) LineState {
+	if c.inf != nil {
+		return c.inf[b]
+	}
+	s := c.set(b)
+	tags := c.tags[s]
+	for i, t := range tags {
+		if t == b {
+			st := c.state[s][i]
+			c.promote(s, i)
+			return st
+		}
+	}
+	return Invalid
+}
+
+// Probe returns the block's state without touching LRU order.
+func (c *BlockCache) Probe(b memory.Block) LineState {
+	if c.inf != nil {
+		return c.inf[b]
+	}
+	s := c.set(b)
+	for i, t := range c.tags[s] {
+		if t == b {
+			return c.state[s][i]
+		}
+	}
+	return Invalid
+}
+
+// promote moves way i of set s to the MRU position (index 0).
+func (c *BlockCache) promote(s uint64, i int) {
+	if i == 0 {
+		return
+	}
+	tags, states := c.tags[s], c.state[s]
+	t, st := tags[i], states[i]
+	copy(tags[1:i+1], tags[0:i])
+	copy(states[1:i+1], states[0:i])
+	tags[0], states[0] = t, st
+}
+
+// Insert places block b, returning the LRU victim if the set was full.
+// Inserting a resident block refreshes its state and LRU position.
+func (c *BlockCache) Insert(b memory.Block, st LineState) Victim {
+	if c.inf != nil {
+		c.inf[b] = st
+		return Victim{}
+	}
+	s := c.set(b)
+	for i, t := range c.tags[s] {
+		if t == b {
+			c.state[s][i] = st
+			c.promote(s, i)
+			return Victim{}
+		}
+	}
+	if len(c.tags[s]) < c.ways {
+		c.tags[s] = append(c.tags[s], 0)
+		c.state[s] = append(c.state[s], Invalid)
+	} else {
+		// evict LRU (last slot)
+		last := c.ways - 1
+		v := Victim{Block: c.tags[s][last], Dirty: c.state[s][last] == Modified, Valid: true}
+		copy(c.tags[s][1:], c.tags[s][:last])
+		copy(c.state[s][1:], c.state[s][:last])
+		c.tags[s][0], c.state[s][0] = b, st
+		return v
+	}
+	// shift and place at MRU
+	tags, states := c.tags[s], c.state[s]
+	copy(tags[1:], tags[:len(tags)-1])
+	copy(states[1:], states[:len(states)-1])
+	tags[0], states[0] = b, st
+	return Victim{}
+}
+
+// SetState updates the state of a resident block; it is a no-op if the
+// block is absent.
+func (c *BlockCache) SetState(b memory.Block, st LineState) {
+	if c.inf != nil {
+		if _, ok := c.inf[b]; ok {
+			c.inf[b] = st
+		}
+		return
+	}
+	s := c.set(b)
+	for i, t := range c.tags[s] {
+		if t == b {
+			c.state[s][i] = st
+			return
+		}
+	}
+}
+
+// Invalidate removes block b, reporting presence and dirtiness.
+func (c *BlockCache) Invalidate(b memory.Block) (present, dirty bool) {
+	if c.inf != nil {
+		st, ok := c.inf[b]
+		if !ok || st == Invalid {
+			return false, false
+		}
+		delete(c.inf, b)
+		return true, st == Modified
+	}
+	s := c.set(b)
+	for i, t := range c.tags[s] {
+		if t == b && c.state[s][i] != Invalid {
+			dirty := c.state[s][i] == Modified
+			last := len(c.tags[s]) - 1
+			copy(c.tags[s][i:], c.tags[s][i+1:last+1])
+			copy(c.state[s][i:], c.state[s][i+1:last+1])
+			c.tags[s] = c.tags[s][:last]
+			c.state[s] = c.state[s][:last]
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// PageEntry is one S-COMA page frame: fine-grain tags record which blocks
+// of the page are valid and which are dirty.
+type PageEntry struct {
+	Page  memory.Page
+	Valid uint64 // bit i: block i of the page is present
+	Dirty uint64 // bit i: block i is dirty
+
+	prev, next *PageEntry
+}
+
+// ValidBlocks returns the number of valid blocks in the frame.
+func (e *PageEntry) ValidBlocks() int { return popcount(e.Valid) }
+
+// DirtyBlocks returns the number of dirty blocks in the frame.
+func (e *PageEntry) DirtyBlocks() int { return popcount(e.Dirty) }
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// PageCache is the per-node S-COMA page cache: a set of page frames with
+// LRU replacement at page granularity and per-block presence tags. A
+// capacity of zero pages means unbounded (R-NUMA-Inf).
+type PageCache struct {
+	capacity int // pages; 0 = unbounded
+	entries  map[memory.Page]*PageEntry
+
+	// LRU list: head is MRU, tail is LRU.
+	head, tail *PageEntry
+}
+
+// NewPageCache builds a page cache holding the given number of bytes
+// worth of page frames. bytes = 0 builds the unbounded variant.
+func NewPageCache(bytes int) *PageCache {
+	return &PageCache{
+		capacity: bytes / config.PageBytes,
+		entries:  make(map[memory.Page]*PageEntry),
+	}
+}
+
+// Infinite reports whether the cache is unbounded.
+func (c *PageCache) Infinite() bool { return c.capacity == 0 }
+
+// Capacity returns the frame count (0 = unbounded).
+func (c *PageCache) Capacity() int { return c.capacity }
+
+// Len returns the number of resident pages.
+func (c *PageCache) Len() int { return len(c.entries) }
+
+// Entry returns the frame for page p, or nil, without touching LRU
+// order.
+func (c *PageCache) Entry(p memory.Page) *PageEntry { return c.entries[p] }
+
+// Touch promotes page p to MRU, returning its frame (nil if absent).
+func (c *PageCache) Touch(p memory.Page) *PageEntry {
+	e := c.entries[p]
+	if e == nil {
+		return nil
+	}
+	c.moveToFront(e)
+	return e
+}
+
+// Full reports whether an allocation would require an eviction.
+func (c *PageCache) Full() bool {
+	return c.capacity != 0 && len(c.entries) >= c.capacity
+}
+
+// EvictLRU removes and returns the least-recently-used frame, or nil if
+// the cache is empty.
+func (c *PageCache) EvictLRU() *PageEntry {
+	e := c.tail
+	if e == nil {
+		return nil
+	}
+	c.remove(e)
+	delete(c.entries, e.Page)
+	return e
+}
+
+// Allocate creates an empty frame for page p at MRU position. The caller
+// must have made room first (Full + EvictLRU); if the cache is full,
+// Allocate panics.
+func (c *PageCache) Allocate(p memory.Page) *PageEntry {
+	if c.entries[p] != nil {
+		panic("cache: page already resident")
+	}
+	if c.Full() {
+		panic("cache: allocate into full page cache")
+	}
+	e := &PageEntry{Page: p}
+	c.entries[p] = e
+	c.pushFront(e)
+	return e
+}
+
+// Remove deletes page p's frame outright (used when a page migrates away
+// or is gathered), returning it (nil if absent).
+func (c *PageCache) Remove(p memory.Page) *PageEntry {
+	e := c.entries[p]
+	if e == nil {
+		return nil
+	}
+	c.remove(e)
+	delete(c.entries, p)
+	return e
+}
+
+func (c *PageCache) pushFront(e *PageEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *PageCache) remove(e *PageEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *PageCache) moveToFront(e *PageEntry) {
+	if c.head == e {
+		return
+	}
+	c.remove(e)
+	c.pushFront(e)
+}

@@ -1,0 +1,289 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/memory"
+)
+
+func TestL1DirectMappedConflict(t *testing.T) {
+	c := NewL1(config.L1Bytes)
+	sets := memory.Block(c.Sets())
+	c.Insert(0, Shared)
+	if c.Lookup(0) != Shared {
+		t.Fatal("inserted block missing")
+	}
+	// A block mapping to the same set displaces it.
+	v := c.Insert(sets, Modified)
+	if !v.Valid || v.Block != 0 || v.Dirty {
+		t.Fatalf("victim = %+v, want clean block 0", v)
+	}
+	if c.Lookup(0) != Invalid {
+		t.Error("displaced block still resident")
+	}
+	if c.Lookup(sets) != Modified {
+		t.Error("new block not resident")
+	}
+}
+
+func TestL1DirtyVictim(t *testing.T) {
+	c := NewL1(config.L1Bytes)
+	sets := memory.Block(c.Sets())
+	c.Insert(5, Modified)
+	v := c.Insert(5+sets, Shared)
+	if !v.Valid || !v.Dirty || v.Block != 5 {
+		t.Fatalf("victim = %+v, want dirty block 5", v)
+	}
+}
+
+func TestL1ReinsertUpdatesState(t *testing.T) {
+	c := NewL1(config.L1Bytes)
+	c.Insert(9, Shared)
+	v := c.Insert(9, Modified)
+	if v.Valid {
+		t.Error("reinserting resident block produced a victim")
+	}
+	if c.Lookup(9) != Modified {
+		t.Error("state not upgraded")
+	}
+}
+
+func TestL1Invalidate(t *testing.T) {
+	c := NewL1(config.L1Bytes)
+	c.Insert(3, Modified)
+	present, dirty := c.Invalidate(3)
+	if !present || !dirty {
+		t.Errorf("invalidate = (%v,%v), want (true,true)", present, dirty)
+	}
+	if present, _ := c.Invalidate(3); present {
+		t.Error("double invalidate reported presence")
+	}
+}
+
+func TestL1SetStatePanicsOnAbsent(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetState on absent block did not panic")
+		}
+	}()
+	NewL1(config.L1Bytes).SetState(1, Modified)
+}
+
+func TestBlockCacheLRU(t *testing.T) {
+	// 4-way cache with enough sets; use same-set blocks.
+	bc := NewBlockCache(config.BlockCacheBytes, 4)
+	sets := memory.Block(config.BlockCacheBytes / config.BlockBytes / 4)
+	same := func(i int) memory.Block { return memory.Block(i) * sets }
+	for i := 0; i < 4; i++ {
+		if v := bc.Insert(same(i), Shared); v.Valid {
+			t.Fatalf("eviction while filling way %d", i)
+		}
+	}
+	// Touch block 0 so it becomes MRU; inserting a fifth must evict the
+	// LRU (block 1).
+	bc.Lookup(same(0))
+	v := bc.Insert(same(4), Shared)
+	if !v.Valid || v.Block != same(1) {
+		t.Fatalf("victim = %+v, want block %d", v, same(1))
+	}
+	if bc.Probe(same(0)) == Invalid {
+		t.Error("MRU block was evicted")
+	}
+}
+
+func TestBlockCacheProbeDoesNotPromote(t *testing.T) {
+	bc := NewBlockCache(config.BlockCacheBytes, 4)
+	sets := memory.Block(config.BlockCacheBytes / config.BlockBytes / 4)
+	same := func(i int) memory.Block { return memory.Block(i) * sets }
+	for i := 0; i < 4; i++ {
+		bc.Insert(same(i), Shared)
+	}
+	bc.Probe(same(0)) // must NOT refresh LRU position
+	v := bc.Insert(same(4), Shared)
+	if v.Block != same(0) {
+		t.Errorf("victim = %d, want the probed-but-not-promoted block %d", v.Block, same(0))
+	}
+}
+
+func TestBlockCacheInvalidate(t *testing.T) {
+	bc := NewBlockCache(config.BlockCacheBytes, 4)
+	bc.Insert(7, Modified)
+	present, dirty := bc.Invalidate(7)
+	if !present || !dirty {
+		t.Errorf("invalidate = (%v,%v)", present, dirty)
+	}
+	if st := bc.Probe(7); st != Invalid {
+		t.Error("block survived invalidation")
+	}
+	// The freed way is reusable without eviction.
+	if v := bc.Insert(7, Shared); v.Valid {
+		t.Error("insert into freed way evicted")
+	}
+}
+
+func TestInfiniteBlockCacheNeverEvicts(t *testing.T) {
+	bc := NewInfiniteBlockCache()
+	if !bc.Infinite() {
+		t.Fatal("not infinite")
+	}
+	for i := 0; i < 100000; i++ {
+		if v := bc.Insert(memory.Block(i), Shared); v.Valid {
+			t.Fatalf("infinite cache evicted at block %d", i)
+		}
+	}
+	for i := 0; i < 100000; i += 9999 {
+		if bc.Lookup(memory.Block(i)) != Shared {
+			t.Fatalf("block %d missing", i)
+		}
+	}
+}
+
+func TestBlockCacheAssociativityBound(t *testing.T) {
+	// Property: a set never holds more than `ways` blocks — inserting N
+	// same-set blocks yields exactly max(0, N-ways) victims.
+	f := func(n uint8) bool {
+		ways := 4
+		bc := NewBlockCache(config.BlockCacheBytes, ways)
+		sets := memory.Block(config.BlockCacheBytes / config.BlockBytes / ways)
+		victims := 0
+		for i := 0; i < int(n); i++ {
+			if v := bc.Insert(memory.Block(i)*sets, Shared); v.Valid {
+				victims++
+			}
+		}
+		want := int(n) - ways
+		if want < 0 {
+			want = 0
+		}
+		return victims == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageCacheLRUEviction(t *testing.T) {
+	pc := NewPageCache(3 * config.PageBytes)
+	if pc.Capacity() != 3 {
+		t.Fatalf("capacity = %d, want 3", pc.Capacity())
+	}
+	pc.Allocate(1)
+	pc.Allocate(2)
+	pc.Allocate(3)
+	if !pc.Full() {
+		t.Fatal("cache of 3 not full after 3 allocations")
+	}
+	pc.Touch(1) // 1 becomes MRU; LRU is 2
+	e := pc.EvictLRU()
+	if e.Page != 2 {
+		t.Errorf("evicted page %d, want 2", e.Page)
+	}
+	if pc.Len() != 2 {
+		t.Errorf("len = %d, want 2", pc.Len())
+	}
+}
+
+func TestPageCacheTags(t *testing.T) {
+	pc := NewPageCache(config.PageCacheBytes)
+	e := pc.Allocate(9)
+	e.Valid |= 1 << 5
+	e.Dirty |= 1 << 5
+	e.Valid |= 1 << 60
+	if e.ValidBlocks() != 2 {
+		t.Errorf("valid blocks = %d, want 2", e.ValidBlocks())
+	}
+	if e.DirtyBlocks() != 1 {
+		t.Errorf("dirty blocks = %d, want 1", e.DirtyBlocks())
+	}
+	if got := pc.Entry(9); got != e {
+		t.Error("entry lookup mismatch")
+	}
+	if pc.Entry(10) != nil {
+		t.Error("absent page has an entry")
+	}
+}
+
+func TestPageCacheRemove(t *testing.T) {
+	pc := NewPageCache(3 * config.PageBytes)
+	pc.Allocate(4)
+	pc.Allocate(5)
+	if pc.Remove(4) == nil {
+		t.Fatal("remove of resident page returned nil")
+	}
+	if pc.Remove(4) != nil {
+		t.Fatal("double remove returned a frame")
+	}
+	if pc.Full() {
+		t.Error("cache full after removal")
+	}
+	// LRU list stays consistent after removal.
+	pc.Allocate(6)
+	pc.Allocate(7)
+	if e := pc.EvictLRU(); e.Page != 5 {
+		t.Errorf("LRU = %d, want 5", e.Page)
+	}
+}
+
+func TestInfinitePageCache(t *testing.T) {
+	pc := NewPageCache(0)
+	if !pc.Infinite() {
+		t.Fatal("capacity 0 not infinite")
+	}
+	for i := 0; i < 10000; i++ {
+		if pc.Full() {
+			t.Fatal("infinite page cache reported full")
+		}
+		pc.Allocate(memory.Page(i))
+	}
+	if pc.Len() != 10000 {
+		t.Errorf("len = %d", pc.Len())
+	}
+}
+
+func TestPageCacheDoubleAllocatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("double allocate did not panic")
+		}
+	}()
+	pc := NewPageCache(config.PageCacheBytes)
+	pc.Allocate(1)
+	pc.Allocate(1)
+}
+
+func TestPageCacheLRUOrderProperty(t *testing.T) {
+	// Property: after any touch sequence, evictions come out in
+	// least-recently-used order (verified against a reference model).
+	f := func(touches []uint8) bool {
+		const pages = 8
+		pc := NewPageCache(pages * config.PageBytes)
+		var ref []memory.Page // front = LRU, back = MRU
+		for i := 0; i < pages; i++ {
+			pc.Allocate(memory.Page(i))
+			ref = append(ref, memory.Page(i))
+		}
+		for _, raw := range touches {
+			p := memory.Page(raw % pages)
+			pc.Touch(p)
+			for i, q := range ref {
+				if q == p {
+					ref = append(append(ref[:i], ref[i+1:]...), p)
+					break
+				}
+			}
+		}
+		for len(ref) > 0 {
+			e := pc.EvictLRU()
+			if e == nil || e.Page != ref[0] {
+				return false
+			}
+			ref = ref[1:]
+		}
+		return pc.EvictLRU() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

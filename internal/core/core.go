@@ -1,0 +1,263 @@
+// Package core is the library's high-level API: it ties together the
+// workload generators (internal/apps), the simulated DSM machines
+// (internal/dsm) and the timing model (internal/config) behind a small
+// surface suitable for tools and examples.
+//
+// The typical flow is three lines:
+//
+//	sess := core.NewSession(core.Defaults())
+//	res, err := sess.Simulate("lu", core.SystemRNUMA)
+//	fmt.Println(res.Normalized, res.Stats.Summary())
+//
+// Simulate generates (and caches) the application trace, runs it on the
+// requested system and on the perfect-CC-NUMA baseline, and reports
+// execution time normalized the way every figure in the paper is.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/dsm"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// System names one of the simulated machine configurations.
+type System string
+
+// The nine systems of the paper.
+const (
+	SystemPerfect     System = "perfect"
+	SystemCCNUMA      System = "ccnuma"
+	SystemRep         System = "rep"
+	SystemMig         System = "mig"
+	SystemMigRep      System = "migrep"
+	SystemRNUMA       System = "rnuma"
+	SystemRNUMAInf    System = "rnuma-inf"
+	SystemRNUMAHalf   System = "rnuma-half"
+	SystemRNUMAHalfMR System = "rnuma-half-migrep"
+
+	// SystemSCOMA is the static fine-grain caching ablation (every
+	// remote page placed in the page cache on first touch).
+	SystemSCOMA System = "scoma"
+)
+
+// Systems returns every system name in presentation order.
+func Systems() []System {
+	return []System{
+		SystemPerfect, SystemCCNUMA, SystemRep, SystemMig, SystemMigRep,
+		SystemRNUMA, SystemRNUMAInf, SystemRNUMAHalf, SystemRNUMAHalfMR,
+		SystemSCOMA,
+	}
+}
+
+// Options configures a session.
+type Options struct {
+	// Cluster is the machine shape (defaults to the paper's 8x4).
+	Cluster config.Cluster
+
+	// Timing is the cost model (defaults to Table 3).
+	Timing config.Timing
+
+	// Thresholds are the policy parameters.
+	Thresholds config.Thresholds
+
+	// Scale divides application problem sizes; 1 is the full
+	// reproduction size.
+	Scale int
+
+	// RelocDelay configures the R-NUMA+MigRep integration's relocation
+	// delay in misses per page (0 uses 8x the R-NUMA threshold).
+	RelocDelay int
+}
+
+// Defaults returns the paper's base configuration.
+func Defaults() Options {
+	return Options{
+		Cluster:    config.DefaultCluster(),
+		Timing:     config.Default(),
+		Thresholds: config.DefaultThresholds(),
+		Scale:      1,
+	}
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	App    string
+	System System
+
+	// Stats holds the full counter set of the run.
+	Stats *stats.Sim
+
+	// Baseline holds the perfect-CC-NUMA run of the same trace.
+	Baseline *stats.Sim
+
+	// Normalized is Stats.ExecCycles / Baseline.ExecCycles — the y-axis
+	// of every figure in the paper.
+	Normalized float64
+}
+
+// Session caches generated traces so that comparing many systems on one
+// application generates the workload once.
+type Session struct {
+	opts   Options
+	traces map[string]*trace.Trace
+	bases  map[string]*stats.Sim
+}
+
+// NewSession creates a session with the given options.
+func NewSession(opts Options) *Session {
+	if opts.Scale < 1 {
+		opts.Scale = 1
+	}
+	if opts.Cluster.Nodes == 0 {
+		opts.Cluster = config.DefaultCluster()
+	}
+	if opts.Timing == (config.Timing{}) {
+		opts.Timing = config.Default()
+	}
+	if opts.Thresholds == (config.Thresholds{}) {
+		opts.Thresholds = config.DefaultThresholds()
+	}
+	if opts.RelocDelay == 0 {
+		opts.RelocDelay = 8 * opts.Thresholds.RNUMAThreshold
+	}
+	return &Session{
+		opts:   opts,
+		traces: make(map[string]*trace.Trace),
+		bases:  make(map[string]*stats.Sim),
+	}
+}
+
+// Applications lists the available workload names.
+func (s *Session) Applications() []string {
+	var out []string
+	for _, i := range apps.All() {
+		out = append(out, i.Name)
+	}
+	return out
+}
+
+// Spec resolves a system name to its machine specification.
+func (s *Session) Spec(sys System) (dsm.Spec, error) {
+	switch sys {
+	case SystemPerfect:
+		return dsm.PerfectCCNUMA(), nil
+	case SystemCCNUMA:
+		return dsm.CCNUMA(), nil
+	case SystemRep:
+		return dsm.Rep(), nil
+	case SystemMig:
+		return dsm.Mig(), nil
+	case SystemMigRep:
+		return dsm.MigRep(), nil
+	case SystemRNUMA:
+		return dsm.RNUMA(), nil
+	case SystemRNUMAInf:
+		return dsm.RNUMAInf(), nil
+	case SystemRNUMAHalf:
+		return dsm.RNUMAHalf(), nil
+	case SystemRNUMAHalfMR:
+		return dsm.RNUMAHalfMigRep(s.opts.RelocDelay), nil
+	case SystemSCOMA:
+		return dsm.SCOMA(), nil
+	default:
+		return dsm.Spec{}, fmt.Errorf("core: unknown system %q", sys)
+	}
+}
+
+// Trace returns the (cached) trace of an application.
+func (s *Session) Trace(app string) (*trace.Trace, error) {
+	if tr, ok := s.traces[app]; ok {
+		return tr, nil
+	}
+	info, err := apps.ByName(app)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := info.Generate(apps.Params{CPUs: s.opts.Cluster.TotalCPUs(), Scale: s.opts.Scale})
+	if err != nil {
+		return nil, err
+	}
+	s.traces[app] = tr
+	return tr, nil
+}
+
+// baseline returns the (cached) perfect-CC-NUMA run of an application
+// under the base timing model.
+func (s *Session) baseline(app string) (*stats.Sim, error) {
+	if b, ok := s.bases[app]; ok {
+		return b, nil
+	}
+	tr, err := s.Trace(app)
+	if err != nil {
+		return nil, err
+	}
+	b, err := dsm.Run(tr, dsm.PerfectCCNUMA(), s.opts.Cluster, config.Default(), s.opts.Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	s.bases[app] = b
+	return b, nil
+}
+
+// Simulate runs one application on one system.
+func (s *Session) Simulate(app string, sys System) (*Result, error) {
+	spec, err := s.Spec(sys)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := s.Trace(app)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := dsm.Run(tr, spec, s.opts.Cluster, s.opts.Timing, s.opts.Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	base, err := s.baseline(app)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		App: app, System: sys, Stats: sim, Baseline: base,
+		Normalized: sim.Normalized(base),
+	}, nil
+}
+
+// Compare runs one application across several systems.
+func (s *Session) Compare(app string, systems ...System) ([]*Result, error) {
+	out := make([]*Result, 0, len(systems))
+	for _, sys := range systems {
+		r, err := s.Simulate(app, sys)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SimulateTrace runs a caller-provided trace (e.g. a custom workload
+// built with the apps.World API) on one system, returning the run and
+// its perfect-CC-NUMA baseline.
+func (s *Session) SimulateTrace(tr *trace.Trace, sys System) (*Result, error) {
+	spec, err := s.Spec(sys)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := dsm.Run(tr, spec, s.opts.Cluster, s.opts.Timing, s.opts.Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	base, err := dsm.Run(tr, dsm.PerfectCCNUMA(), s.opts.Cluster, config.Default(), s.opts.Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		App: tr.Name, System: sys, Stats: sim, Baseline: base,
+		Normalized: sim.Normalized(base),
+	}, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/stats"
+)
+
+func session(t *testing.T) *Session {
+	t.Helper()
+	o := Defaults()
+	o.Scale = 8
+	return NewSession(o)
+}
+
+func TestSimulateNormalizes(t *testing.T) {
+	s := session(t)
+	r, err := s.Simulate("lu", SystemCCNUMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Normalized <= 0 {
+		t.Errorf("normalized = %v", r.Normalized)
+	}
+	if r.Stats.ExecCycles <= 0 || r.Baseline.ExecCycles <= 0 {
+		t.Error("missing execution times")
+	}
+	// Perfect normalizes to exactly 1.
+	p, err := s.Simulate("lu", SystemPerfect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Normalized != 1.0 {
+		t.Errorf("perfect normalized = %v, want 1", p.Normalized)
+	}
+}
+
+func TestTraceCaching(t *testing.T) {
+	s := session(t)
+	a, err := s.Trace("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Trace("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("trace not cached")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	s := session(t)
+	rs, err := s.Compare("radix", SystemCCNUMA, SystemRNUMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	if rs[0].System != SystemCCNUMA || rs[1].System != SystemRNUMA {
+		t.Error("results out of order")
+	}
+}
+
+func TestUnknownSystemAndApp(t *testing.T) {
+	s := session(t)
+	if _, err := s.Simulate("lu", "warp-drive"); err == nil {
+		t.Error("unknown system accepted")
+	}
+	if _, err := s.Simulate("nosuch", SystemCCNUMA); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestSystemsCoverSpecs(t *testing.T) {
+	s := session(t)
+	for _, sys := range Systems() {
+		if _, err := s.Spec(sys); err != nil {
+			t.Errorf("%s: %v", sys, err)
+		}
+	}
+}
+
+func TestApplicationsListed(t *testing.T) {
+	s := session(t)
+	names := s.Applications()
+	if len(names) < 8 { // seven paper apps + synthetic
+		t.Errorf("only %d applications", len(names))
+	}
+}
+
+func TestSimulateTrace(t *testing.T) {
+	s := session(t)
+	tr, err := apps.GenerateSynthetic(apps.SynStream, apps.SyntheticParams{CPUs: 32, KBPerNode: 128, Iters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.SimulateTrace(tr, SystemRNUMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.PageOpsByKind(stats.Relocation) == 0 {
+		t.Error("custom streaming trace triggered no relocations")
+	}
+}

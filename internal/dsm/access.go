@@ -1,0 +1,510 @@
+package dsm
+
+import (
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/directory"
+	"repro/internal/engine"
+	"repro/internal/memory"
+	"repro/internal/stats"
+)
+
+// localAccess models an L1 miss satisfied on the node: a bus transaction
+// (with queuing) followed by the fixed local-memory/SRAM service time. It
+// returns the completion time.
+func (m *Machine) localAccess(now int64, n int) int64 {
+	t := m.bus[n].Acquire(now, m.tm.BusOccupancy)
+	return t + m.localFixed
+}
+
+// roundTrip models a protocol round trip from node n to home h: local
+// bus, outbound NI, network, home controller (plus extra cycles for
+// 3-hop forwarding or invalidation gathering), network back, inbound NI,
+// and the fill delivery on the local bus. When h == n the network legs
+// vanish but the directory/controller work remains.
+func (m *Machine) roundTrip(now int64, n, h int, extra int64) int64 {
+	t := m.bus[n].Acquire(now, m.tm.BusOccupancy)
+	if h != n {
+		t = m.ni[n].Acquire(t, m.tm.NIOccupancy)
+		t += m.tm.NetworkLatency
+	}
+	t = m.home[h].Acquire(t, m.tm.HomeOccupancy)
+	t += m.remoteFixed + extra
+	if h != n {
+		t += m.tm.NetworkLatency
+		t = m.ni[n].Acquire(t, m.tm.NIOccupancy)
+	}
+	t = m.bus[n].Acquire(t, m.tm.BusOccupancy)
+	return t
+}
+
+// access executes one Read/Write trace op for CPU c, advancing its clock
+// by the full memory-system latency.
+func (m *Machine) access(c *engine.CPU, b memory.Block, write bool) {
+	n := m.nodeOf(c.ID)
+	p := b.Page()
+	e := m.pt.Entry(p)
+	ns := &m.st.Nodes[n]
+
+	// First-touch placement. Before the parallel phase, pages are homed
+	// at the first toucher (the initializing processor); the user-level
+	// directive at the start of the parallel phase re-homes each page to
+	// its first post-phase toucher, for free, as the paper's policy
+	// does.
+	if !e.Touched {
+		m.pt.FirstTouch(p, n)
+		m.mapped[n][p] = true
+		m.parallelPlaced[p] = m.phaseDone
+	} else if m.phaseDone && !m.parallelPlaced[p] {
+		m.parallelPlaced[p] = true
+		if e.Home != n && !e.Replicated {
+			m.pt.SetHome(p, n)
+			m.mapped[n][p] = true
+		}
+	}
+
+	// Wait out any page operation in flight on this page.
+	if t := m.pageBusy[p]; c.Clock < t {
+		ns.SyncCycles += t - c.Clock
+		c.Clock = t
+	}
+
+	// Soft page fault: first access by this node, or a mapping dropped
+	// by a migration/collapse (lazy TLB invalidation via poison bits).
+	if e.Home != n && !m.mapped[n][p] {
+		m.mapped[n][p] = true
+		lat := m.tm.SoftTrap + 2*m.tm.NetworkLatency
+		ns.PageFaults++
+		if e.Replicated && m.spec.Replication {
+			// An unmapped fault on a replicated page fetches a full
+			// read-only copy into local memory.
+			lat += m.tm.CopyCost(config.BlocksPerPage)
+			e.Mode[n] = memory.ModeReplica
+			ns.PageOps[stats.Replication]++
+			ns.TrafficBytes += int64(config.BlocksPerPage) * msgBlockBytes
+		} else if e.Mode[n] == memory.ModeUnmapped {
+			e.Mode[n] = memory.ModeCCNUMA
+		}
+		ns.TrafficBytes += 2 * msgHeaderBytes
+		c.Clock += lat
+		ns.PageOpCycles += lat
+		if m.spec.AlwaysSCOMA {
+			// Static S-COMA: the page maps straight into the page
+			// cache; its blocks fetch on demand.
+			m.mapSCOMA(c, n, p)
+		}
+	}
+
+	// A write to a replicated page takes a protection fault and forces
+	// the home to collapse all replicas back to one read-write page.
+	if write && e.Replicated {
+		m.collapse(c, n, p)
+	}
+
+	l1 := m.l1[c.ID]
+	switch l1.Lookup(b) {
+	case cache.Modified:
+		return // hit with write permission
+	case cache.Shared:
+		if !write {
+			return // read hit
+		}
+		m.upgrade(c, n, b)
+	default:
+		m.fill(c, n, b, write)
+	}
+}
+
+// upgrade obtains write permission for a block the CPU already caches in
+// the Shared state.
+func (m *Machine) upgrade(c *engine.CPU, n int, b memory.Block) {
+	ns := &m.st.Nodes[n]
+	de := m.dir.Entry(b)
+	p := b.Page()
+	h := m.pt.Entry(p).Home
+	start := c.Clock
+
+	remote := de.Sharers &^ (1 << uint(n))
+	remoteUpgrade := false
+	if remote != 0 {
+		// Remote upgrade through the home directory; invalidations to
+		// the sharers overlap, one ack wave adds a network latency.
+		end := m.roundTrip(start, n, h, m.tm.NetworkLatency)
+		ns.Upgrades++
+		ns.TrafficBytes += 2 * msgHeaderBytes
+		m.invalidateSharers(n, b, remote, end)
+		ns.StallCycles += end - c.Clock
+		c.Clock = end
+		remoteUpgrade = true
+	} else if m.l1count[n][b] > 1 {
+		// Node-local upgrade: one bus transaction invalidates siblings.
+		end := m.bus[n].Acquire(start, m.tm.BusOccupancy)
+		ns.StallCycles += end - c.Clock
+		c.Clock = end
+	}
+	// Invalidate sibling L1 copies on this node.
+	lo, hi := m.cpusOf(n)
+	for i := lo; i < hi; i++ {
+		if i == c.ID {
+			continue
+		}
+		if present, _ := m.l1[i].Invalidate(b); present {
+			m.l1count[n][b]--
+		}
+	}
+	m.dir.SetOwner(b, n)
+	m.l1[c.ID].SetState(b, cache.Modified)
+	if m.bc != nil && m.pt.Entry(p).Home != n {
+		m.bc[n].SetState(b, cache.Modified)
+	}
+	if m.pc != nil && m.pt.Entry(p).Home != n {
+		if pe := m.pc[n].Entry(p); pe != nil && pe.Valid&(1<<uint(b.Index())) != 0 {
+			pe.Dirty |= 1 << uint(b.Index())
+		}
+	}
+	// The policy hook runs after the upgrade's state changes: a page
+	// operation it triggers may gather this very page, including the
+	// copy just upgraded.
+	if remoteUpgrade && m.spec.MigRep() && h != n {
+		m.pokeMigRep(c, n, p, true)
+	}
+}
+
+// invalidateSharers delivers invalidations for block b to every node in
+// mask (except requester n), charging their NIs at time t and accounting
+// traffic to the requester.
+func (m *Machine) invalidateSharers(n int, b memory.Block, mask uint64, t int64) {
+	ns := &m.st.Nodes[n]
+	for s := 0; s < m.cl.Nodes; s++ {
+		if mask&(1<<uint(s)) == 0 || s == n {
+			continue
+		}
+		m.ni[s].Acquire(t, m.tm.NIOccupancy)
+		present, dirty := m.invalidateOnNode(s, b, true)
+		ns.TrafficBytes += 2 * msgHeaderBytes // inval + ack
+		if present && dirty {
+			// Dirty data accompanies the ack back to home memory.
+			ns.TrafficBytes += msgBlockBytes - msgHeaderBytes
+		}
+	}
+}
+
+// fill services an L1 miss for CPU c on node n.
+func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
+	p := b.Page()
+	e := m.pt.Entry(p)
+	h := e.Home
+	de := m.dir.Entry(b)
+	ns := &m.st.Nodes[n]
+	start := c.Clock
+
+	cls := m.classify(n, b)
+	remote := de.Sharers &^ (1 << uint(n))
+	// A write fill can complete locally only if no other node holds a
+	// copy; otherwise exclusivity must come from the home.
+	localOK := !write || remote == 0
+
+	// 1. Another L1 on this node holds the block.
+	if m.l1count[n][b] > 0 && localOK {
+		end := m.localAccess(start, n)
+		ns.LocalMisses[cls]++
+		m.advance(c, ns, end)
+		m.completeFill(c, n, b, write)
+		return
+	}
+
+	// 2. The S-COMA page cache holds the block.
+	if m.pc != nil && localOK && h != n {
+		if pe := m.pc[n].Touch(p); pe != nil && pe.Valid&(1<<uint(b.Index())) != 0 {
+			end := m.localAccess(start, n)
+			ns.LocalMisses[cls]++
+			ns.PageCacheHits++
+			if write {
+				pe.Dirty |= 1 << uint(b.Index())
+			}
+			m.advance(c, ns, end)
+			m.completeFill(c, n, b, write)
+			return
+		}
+	}
+
+	// 3. The page is homed here. The home's own misses feed the page's
+	// home-use counter (the memory controller observes them), so
+	// migration can weigh the home's use against a remote requester's;
+	// they never count as remote read/write sharing.
+	if h == n {
+		if m.spec.MigRep() {
+			m.pokeMigRep(c, n, p, write)
+		}
+		if owner, dirty := m.dir.IsDirtyRemote(b, n); dirty {
+			// 3-hop fetch from the remote owner.
+			end := m.roundTrip(start, n, h, m.tm.DirtyRemoteExtra)
+			m.ni[owner].Acquire(end-m.tm.NetworkLatency, m.tm.NIOccupancy)
+			ns.RemoteMisses[cls]++
+			ns.TrafficBytes += 2*msgHeaderBytes + msgBlockBytes
+			m.retrieveDirty(n, owner, b, write)
+			m.advance(c, ns, end)
+			m.completeFill(c, n, b, write)
+			return
+		}
+		if localOK {
+			end := m.localAccess(start, n)
+			ns.LocalMisses[cls]++
+			m.advance(c, ns, end)
+			m.completeFill(c, n, b, write)
+			return
+		}
+		// A write to a home block shared remotely: invalidation round;
+		// data comes from local memory on the same transaction.
+		end := m.roundTrip(start, n, h, m.tm.NetworkLatency)
+		ns.Upgrades++
+		ns.LocalMisses[cls]++
+		m.invalidateSharers(n, b, remote, end)
+		m.advance(c, ns, end)
+		m.completeFill(c, n, b, write)
+		return
+	}
+
+	// 4. A local read-only replica serves reads from local memory.
+	if e.Mode[n] == memory.ModeReplica && !write {
+		end := m.localAccess(start, n)
+		ns.LocalMisses[cls]++
+		m.advance(c, ns, end)
+		m.completeFill(c, n, b, write)
+		return
+	}
+
+	// 5. The block cache.
+	if m.bc != nil {
+		st := m.bc[n].Lookup(b)
+		if st == cache.Modified || (st == cache.Shared && localOK) {
+			end := m.localAccess(start, n)
+			ns.LocalMisses[cls]++
+			ns.BlockCacheHits++
+			m.advance(c, ns, end)
+			m.completeFill(c, n, b, write)
+			return
+		}
+		if st == cache.Shared {
+			// Data is local but exclusivity is not: remote upgrade.
+			end := m.roundTrip(start, n, h, m.tm.NetworkLatency)
+			ns.Upgrades++
+			ns.BlockCacheHits++
+			ns.TrafficBytes += 2 * msgHeaderBytes
+			m.invalidateSharers(n, b, remote, end)
+			m.advance(c, ns, end)
+			if m.spec.MigRep() {
+				m.pokeMigRep(c, n, p, true)
+			}
+			m.completeFill(c, n, b, write)
+			return
+		}
+	}
+
+	// 6. Remote fetch from the home.
+	extra := int64(0)
+	owner, dirty := m.dir.IsDirtyRemote(b, n)
+	if dirty && owner != h {
+		// 3-hop: the home forwards the request to the dirty owner.
+		extra += m.tm.DirtyRemoteExtra
+	}
+	if write && remote != 0 {
+		extra += m.tm.NetworkLatency // invalidation ack wave
+	}
+	end := m.roundTrip(start, n, h, extra)
+	if dirty {
+		if owner != h {
+			m.ni[owner].Acquire(end-m.tm.NetworkLatency, m.tm.NIOccupancy)
+			ns.TrafficBytes += 2 * msgHeaderBytes // forward + ack
+		}
+		m.retrieveDirty(n, owner, b, write)
+	}
+	ns.RemoteMisses[cls]++
+	ns.TrafficBytes += msgHeaderBytes + msgBlockBytes
+	m.pageMissTotal[p]++
+	if write && remote != 0 {
+		m.invalidateSharers(n, b, remote, end)
+	}
+	m.advance(c, ns, end)
+
+	// Policy hooks: home-side migration/replication counters and
+	// cacher-side R-NUMA refetch counters. Page operations they trigger
+	// run after the fill completes and are charged to this CPU.
+	if m.spec.MigRep() {
+		m.pokeMigRep(c, n, p, write)
+	}
+	if m.spec.RNUMA && cls == stats.CapacityConflict &&
+		m.pt.Entry(p).Home != n && m.pc[n].Entry(p) == nil {
+		m.ref[n][p]++
+		if int(m.ref[n][p]) >= m.th.RNUMAThreshold {
+			m.maybeRelocate(c, n, p)
+		}
+	}
+	m.completeFill(c, n, b, write)
+}
+
+// advance moves the CPU clock to end, accounting the stall.
+func (m *Machine) advance(c *engine.CPU, ns *stats.Node, end int64) {
+	if end > c.Clock {
+		ns.StallCycles += end - c.Clock
+		c.Clock = end
+	}
+}
+
+// retrieveDirty pulls the dirty copy of b away from owner: on a read the
+// owner downgrades to Shared and memory is updated; on a write the
+// owner's copies are invalidated.
+func (m *Machine) retrieveDirty(n, owner int, b memory.Block, write bool) {
+	if write {
+		m.invalidateOnNode(owner, b, true)
+	} else {
+		m.downgradeOnNode(owner, b)
+		m.dir.WriteBack(b, owner)
+		m.dir.AddSharer(b, owner)
+	}
+}
+
+// completeFill performs the directory update and cache installation
+// common to every fill path.
+func (m *Machine) completeFill(c *engine.CPU, n int, b memory.Block, write bool) {
+	if write {
+		inv := m.dir.SetOwner(b, n)
+		for s := 0; s < m.cl.Nodes; s++ {
+			if inv&(1<<uint(s)) != 0 && s != n {
+				m.invalidateOnNode(s, b, true)
+			}
+		}
+		// Intra-node: sibling L1s lose their copies.
+		lo, hi := m.cpusOf(n)
+		for i := lo; i < hi; i++ {
+			if i == c.ID {
+				continue
+			}
+			if present, _ := m.l1[i].Invalidate(b); present {
+				m.l1count[n][b]--
+			}
+		}
+	} else {
+		// An intra-node read of a block this node owns dirty must not
+		// downgrade the directory: the data is still dirty on the node
+		// (the sibling cache supplies it MOESI-style).
+		de := m.dir.Entry(b)
+		if !(de.State == directory.ModifiedState && int(de.Owner) == n) {
+			m.dir.AddSharer(b, n)
+		}
+	}
+	m.install(c, n, b, write)
+}
+
+// install places the block into the CPU's L1 (and the node's block cache
+// or S-COMA frame when applicable), handling displaced victims.
+func (m *Machine) install(c *engine.CPU, n int, b memory.Block, write bool) {
+	st := cache.Shared
+	if write {
+		st = cache.Modified
+	}
+	p := b.Page()
+	e := m.pt.Entry(p)
+	now := c.Clock
+
+	// S-COMA frame: record block presence.
+	if m.pc != nil && e.Home != n {
+		if pe := m.pc[n].Entry(p); pe != nil {
+			bit := uint64(1) << uint(b.Index())
+			pe.Valid |= bit
+			if write {
+				pe.Dirty |= bit
+			}
+		}
+	}
+
+	// Block cache: remote pages only, maintaining inclusion.
+	if m.bc != nil && e.Home != n && e.Mode[n] != memory.ModeReplica {
+		v := m.bc[n].Insert(b, st)
+		if v.Valid {
+			m.evictFromBlockCache(n, v, now)
+		}
+	}
+
+	v := m.l1[c.ID].Insert(b, st)
+	m.l1count[n][b]++
+	m.markCached(n, b)
+	if v.Valid {
+		m.evictFromL1(n, v, now)
+	}
+}
+
+// evictFromL1 handles a victim displaced from a processor cache.
+func (m *Machine) evictFromL1(n int, v cache.Victim, now int64) {
+	b := v.Block
+	if m.l1count[n][b] > 0 {
+		m.l1count[n][b]--
+	}
+	p := b.Page()
+	e := m.pt.Entry(p)
+	if v.Dirty {
+		inPC := false
+		if m.pc != nil && e.Home != n {
+			if pe := m.pc[n].Entry(p); pe != nil && pe.Valid&(1<<uint(b.Index())) != 0 {
+				pe.Dirty |= 1 << uint(b.Index())
+				inPC = true
+			}
+		}
+		switch {
+		case inPC:
+			// Dirty data lands in the S-COMA frame; no traffic.
+		case m.bc != nil && e.Home != n && e.Mode[n] != memory.ModeReplica &&
+			m.bc[n].Probe(b) != cache.Invalid:
+			// Dirty data folds into the inclusive block cache.
+			m.bc[n].SetState(b, cache.Modified)
+		case e.Home == n:
+			// Writeback to local memory over the bus.
+			m.dir.WriteBack(b, n)
+		default:
+			m.writebackRemote(n, e.Home, b, now)
+		}
+	}
+	if m.nodeHolds(n, b) {
+		// Sibling caches still hold a (now clean) copy: the writeback
+		// above must not deregister the node.
+		if v.Dirty {
+			m.dir.AddSharer(b, n)
+		}
+	} else {
+		// Final departure by eviction. A silently dropped clean copy
+		// leaves the directory conservative; dirty departures were
+		// written back above.
+		m.flags[n][b] &^= flagDepartInval
+	}
+}
+
+// evictFromBlockCache handles a victim displaced from the block cache,
+// enforcing inclusion over the node's L1s.
+func (m *Machine) evictFromBlockCache(n int, v cache.Victim, now int64) {
+	b := v.Block
+	dirty := v.Dirty
+	if m.l1count[n][b] > 0 {
+		lo, hi := m.cpusOf(n)
+		for c := lo; c < hi; c++ {
+			if present, d := m.l1[c].Invalidate(b); present {
+				m.l1count[n][b]--
+				dirty = dirty || d
+			}
+		}
+	}
+	if dirty {
+		m.writebackRemote(n, m.pt.Entry(b.Page()).Home, b, now)
+	}
+	m.flags[n][b] &^= flagDepartInval // capacity departure
+}
+
+// writebackRemote sends a dirty block home asynchronously: the CPU does
+// not wait, but the NIs and home controller are occupied and the
+// directory is updated.
+func (m *Machine) writebackRemote(n, h int, b memory.Block, now int64) {
+	t := m.ni[n].Acquire(now, m.tm.NIOccupancy)
+	t += m.tm.NetworkLatency
+	m.home[h].Acquire(t, m.tm.HomeOccupancy)
+	m.dir.WriteBack(b, n)
+	m.st.Nodes[n].TrafficBytes += msgBlockBytes
+}

@@ -1,0 +1,215 @@
+package dsm
+
+import (
+	"repro/internal/config"
+	"repro/internal/directory"
+	"repro/internal/engine"
+	"repro/internal/memory"
+	"repro/internal/stats"
+)
+
+// pokeMigRep runs the home-side page reference monitoring hardware for a
+// fill or upgrade request on page p issued by node n. It increments the
+// per-page per-node miss counters, applies the periodic reset, and
+// invokes page replication or migration when the thresholds of Section
+// 3.1 fire. Any page operation is charged to the requesting CPU, which
+// is the one waiting on the page.
+func (m *Machine) pokeMigRep(c *engine.CPU, n int, p memory.Page, write bool) {
+	e := m.pt.Entry(p)
+	h := e.Home
+	cnt := m.migCounter(p)
+	if n == h {
+		// The home's own misses weigh against migrating the page away
+		// but trigger nothing themselves.
+		cnt.homeUse++
+		cnt.sinceReset++
+		if int(cnt.sinceReset) >= m.th.MigRepResetInterval {
+			cnt.reset()
+		}
+		return
+	}
+	if write {
+		cnt.write[n]++
+	} else {
+		cnt.read[n]++
+	}
+	cnt.sinceReset++
+	if int(cnt.sinceReset) >= m.th.MigRepResetInterval {
+		cnt.reset()
+		return
+	}
+	thr := int32(m.th.MigRepThreshold)
+
+	// Replication: the page is read-only in this interval and the
+	// requester reads it heavily. Pages recently collapsed by a write
+	// stay ineligible until their counters reset.
+	if m.spec.Replication && !cnt.anyWrites() && !cnt.noRepl &&
+		cnt.read[n] >= thr && e.Mode[n] != memory.ModeReplica {
+		if e.Replicated {
+			m.grantReplica(c, n, p)
+		} else {
+			m.replicate(c, n, p)
+		}
+		return
+	}
+
+	// Migration: the requester misses on the page at least a threshold
+	// more than the home (remote requests plus the home's own use).
+	if m.spec.Migration && !e.Replicated &&
+		cnt.total(n) >= cnt.total(h)+cnt.homeUse+thr {
+		m.migrate(c, n, p)
+	}
+}
+
+// cleanPage writes every dirty cached block of page p back to home,
+// downgrading the owners to Shared. It returns the number of blocks
+// flushed, which sizes the gather cost.
+func (m *Machine) cleanPage(p memory.Page) (flushed int) {
+	b0 := p.FirstBlock()
+	for i := 0; i < config.BlocksPerPage; i++ {
+		b := b0 + memory.Block(i)
+		de := m.dir.Entry(b)
+		if de.State != directory.ModifiedState {
+			continue
+		}
+		owner := int(de.Owner)
+		if m.downgradeOnNode(owner, b) {
+			flushed++
+			m.st.Nodes[owner].TrafficBytes += msgBlockBytes
+		}
+		m.dir.WriteBack(b, owner)
+		m.dir.AddSharer(b, owner)
+	}
+	return flushed
+}
+
+// gatherPage invalidates every cached copy of page p cluster-wide,
+// flushing dirty blocks home, and removes any S-COMA frames holding the
+// page. It returns the number of block copies flushed.
+func (m *Machine) gatherPage(p memory.Page) (flushed int) {
+	b0 := p.FirstBlock()
+	for i := 0; i < config.BlocksPerPage; i++ {
+		b := b0 + memory.Block(i)
+		held := m.dir.InvalidateAll(b)
+		for s := 0; s < m.cl.Nodes; s++ {
+			if held&(1<<uint(s)) == 0 {
+				continue
+			}
+			present, dirty := m.invalidateOnNode(s, b, true)
+			if present {
+				flushed++
+			}
+			if dirty {
+				m.st.Nodes[s].TrafficBytes += msgBlockBytes
+			}
+		}
+	}
+	if m.pc != nil {
+		for s := 0; s < m.cl.Nodes; s++ {
+			if m.pc[s].Remove(p) != nil {
+				m.pt.Entry(p).Mode[s] = memory.ModeCCNUMA
+			}
+		}
+	}
+	return flushed
+}
+
+// replicate creates the first read-only replica of page p at node n: the
+// home gathers dirty blocks, marks the page replicated, and copies it
+// into n's local memory. Poison bits cover the gathered blocks for lazy
+// TLB invalidation.
+func (m *Machine) replicate(c *engine.CPU, n int, p memory.Page) {
+	e := m.pt.Entry(p)
+	ns := &m.st.Nodes[n]
+	flushed := m.cleanPage(p)
+	cost := m.tm.GatherCost(flushed) + m.tm.CopyCost(config.BlocksPerPage)
+	e.Replicated = true
+	e.Mode[n] = memory.ModeReplica
+	ns.PageOps[stats.Replication]++
+	ns.TrafficBytes += int64(config.BlocksPerPage) * msgBlockBytes
+	ns.PageOpCycles += cost
+	c.Clock += cost
+	m.pageBusy[p] = c.Clock
+	m.home[e.Home].Acquire(c.Clock-cost, cost/4)
+}
+
+// grantReplica copies an already-replicated page into node n's local
+// memory (a mapped node crossed the read threshold).
+func (m *Machine) grantReplica(c *engine.CPU, n int, p memory.Page) {
+	e := m.pt.Entry(p)
+	ns := &m.st.Nodes[n]
+	cost := m.tm.SoftTrap + m.tm.CopyCost(config.BlocksPerPage)
+	e.Mode[n] = memory.ModeReplica
+	ns.PageOps[stats.Replication]++
+	ns.TrafficBytes += int64(config.BlocksPerPage) * msgBlockBytes
+	ns.PageOpCycles += cost
+	c.Clock += cost
+}
+
+// collapse handles a write protection fault on a replicated page: the
+// writer traps, the home locks the page mapper, gathers and invalidates
+// all replicas and cached copies, and switches the page back to a single
+// read-write copy at home.
+func (m *Machine) collapse(c *engine.CPU, n int, p memory.Page) {
+	e := m.pt.Entry(p)
+	ns := &m.st.Nodes[n]
+	// Wait for any page operation already in flight.
+	if t := m.pageBusy[p]; c.Clock < t {
+		ns.SyncCycles += t - c.Clock
+		c.Clock = t
+	}
+	if !e.Replicated {
+		return // another writer collapsed it while we waited
+	}
+	flushed := m.gatherPage(p)
+	replicas := 0
+	for s := 0; s < m.cl.Nodes; s++ {
+		if e.Mode[s] == memory.ModeReplica {
+			replicas++
+			e.Mode[s] = memory.ModeCCNUMA
+			m.mapped[s][p] = false // replica mapping dropped; re-fault
+			if s == n {
+				m.mapped[s][p] = true // the writer remaps immediately
+			}
+		}
+	}
+	e.Replicated = false
+	// The write proves the page is not read-only: zero its counters and
+	// block re-replication until the next reset interval.
+	cnt := m.migCounter(p)
+	cnt.reset()
+	cnt.noRepl = true
+	cost := m.tm.SoftTrap + m.tm.GatherCost(flushed) +
+		int64(replicas)*m.tm.TLBShootdown
+	ns.PageOps[stats.Collapse]++
+	ns.TrafficBytes += int64(replicas) * 2 * msgHeaderBytes
+	ns.PageOpCycles += cost
+	c.Clock += cost
+	m.pageBusy[p] = c.Clock
+}
+
+// migrate moves page p's home to node n: all cached copies are gathered
+// with directory poisoning, every node's mapping is shot down lazily,
+// and the page data moves to the new home.
+func (m *Machine) migrate(c *engine.CPU, n int, p memory.Page) {
+	e := m.pt.Entry(p)
+	ns := &m.st.Nodes[n]
+	oldHome := e.Home
+	flushed := m.gatherPage(p)
+	m.pt.PoisonAll(p)
+	for s := 0; s < m.cl.Nodes; s++ {
+		m.mapped[s][p] = false
+	}
+	m.pt.SetHome(p, n)
+	m.mapped[n][p] = true
+	m.pt.ClearPoison(p)
+
+	cost := m.tm.GatherCost(flushed) + m.tm.CopyCost(config.BlocksPerPage)
+	ns.PageOps[stats.Migration]++
+	ns.TrafficBytes += int64(config.BlocksPerPage) * msgBlockBytes
+	ns.PageOpCycles += cost
+	c.Clock += cost
+	m.pageBusy[p] = c.Clock
+	m.home[oldHome].Acquire(c.Clock-cost, cost/4)
+	m.migCounter(p).reset()
+}

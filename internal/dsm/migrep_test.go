@@ -1,0 +1,200 @@
+package dsm
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// runSynthetic executes a synthetic workload on a spec and returns the
+// statistics.
+func runSynthetic(t *testing.T, spec Spec, kind apps.SyntheticKind, kb, iters int) *stats.Sim {
+	t.Helper()
+	tr, err := apps.GenerateSynthetic(kind, apps.SyntheticParams{CPUs: 32, KBPerNode: kb, Iters: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Run(tr, spec, config.DefaultCluster(), config.Default(), config.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestReplicationFiresOnReadShared(t *testing.T) {
+	sim := runSynthetic(t, Rep(), apps.SynReadShared, 128, 6)
+	if sim.PageOpsByKind(stats.Replication) == 0 {
+		t.Fatal("read-shared workload triggered no replications")
+	}
+	if sim.PageOpsByKind(stats.Migration) != 0 {
+		t.Error("replication-only system migrated pages")
+	}
+	// Replication must reduce remote traffic versus plain CC-NUMA.
+	base := runSynthetic(t, CCNUMA(), apps.SynReadShared, 128, 6)
+	if sim.TotalRemoteMisses() >= base.TotalRemoteMisses() {
+		t.Errorf("replication did not cut remote misses: %d vs %d",
+			sim.TotalRemoteMisses(), base.TotalRemoteMisses())
+	}
+	if sim.ExecCycles >= base.ExecCycles {
+		t.Errorf("replication did not improve execution: %d vs %d",
+			sim.ExecCycles, base.ExecCycles)
+	}
+}
+
+func TestMigrationFiresOnMigratory(t *testing.T) {
+	sim := runSynthetic(t, Mig(), apps.SynMigratory, 96, 8)
+	if sim.PageOpsByKind(stats.Migration) == 0 {
+		t.Fatal("migratory workload triggered no migrations")
+	}
+	if sim.PageOpsByKind(stats.Replication) != 0 {
+		t.Error("migration-only system replicated pages")
+	}
+	base := runSynthetic(t, CCNUMA(), apps.SynMigratory, 96, 8)
+	if sim.TotalRemoteMisses() >= base.TotalRemoteMisses() {
+		t.Errorf("migration did not cut remote misses: %d vs %d",
+			sim.TotalRemoteMisses(), base.TotalRemoteMisses())
+	}
+}
+
+func TestReplicationDoesNotFireOnWriteShared(t *testing.T) {
+	sim := runSynthetic(t, MigRep(), apps.SynWriteShared, 64, 6)
+	if got := sim.PageOpsByKind(stats.Replication); got != 0 {
+		t.Errorf("write-shared workload replicated %d pages", got)
+	}
+}
+
+func TestCCNUMAPerformsNoPageOps(t *testing.T) {
+	sim := runSynthetic(t, CCNUMA(), apps.SynReadShared, 128, 6)
+	for op := stats.Migration; op <= stats.Replacement; op++ {
+		if got := sim.PageOpsByKind(op); got != 0 {
+			t.Errorf("CC-NUMA performed %d %v operations", got, op)
+		}
+	}
+}
+
+func TestWriteToReplicatedPageCollapses(t *testing.T) {
+	// Build a read-shared phase long enough to replicate, then a write
+	// from one node: the replicas must collapse and the write proceed.
+	tr, err := apps.GenerateSynthetic(apps.SynReadShared, apps.SyntheticParams{CPUs: 32, KBPerNode: 128, Iters: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a write by CPU 8 (node 2) to the first block of the hot
+	// region after a final barrier.
+	last := uint64(0)
+	for cpu := range tr.CPUs {
+		tr.CPUs[cpu] = append(tr.CPUs[cpu], trace.Op{Kind: trace.Barrier, Arg: 9999})
+	}
+	tr.CPUs[8] = append(tr.CPUs[8], trace.Op{Kind: trace.Write, Arg: last})
+
+	sim, err := Run(tr, MigRep(), config.DefaultCluster(), config.Default(), config.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.PageOpsByKind(stats.Replication) == 0 {
+		t.Fatal("no replications before the write")
+	}
+	if sim.PageOpsByKind(stats.Collapse) == 0 {
+		t.Error("write to replicated page did not collapse")
+	}
+}
+
+func TestMigrationMovesHome(t *testing.T) {
+	tr, err := apps.GenerateSynthetic(apps.SynMigratory, apps.SyntheticParams{CPUs: 32, KBPerNode: 64, Iters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(Mig(), config.DefaultCluster(), config.Default(),
+		config.DefaultThresholds(), tr.Footprint, tr.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Execute(tr); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().PageOpsByKind(stats.Migration) == 0 {
+		t.Skip("no migration fired at this size")
+	}
+	if err := m.Verify(); err != nil {
+		t.Errorf("machine inconsistent after migrations: %v", err)
+	}
+}
+
+func TestMigRepCountersResetAtInterval(t *testing.T) {
+	m := mk(t, MigRep())
+	cnt := m.migCounter(0)
+	for i := 0; i < m.th.MigRepResetInterval-1; i++ {
+		cnt.read[1]++
+		cnt.sinceReset++
+	}
+	// Drive one more poke through the public path: it must reset.
+	cpu := m.sched.CPUByID(4)
+	m.pt.FirstTouch(0, 0)
+	m.pokeMigRep(cpu, 1, 0, false)
+	if cnt.sinceReset != 0 {
+		t.Errorf("sinceReset = %d after interval, want 0", cnt.sinceReset)
+	}
+	if cnt.read[1] != 0 {
+		t.Errorf("read counter = %d after reset", cnt.read[1])
+	}
+}
+
+func TestReplicaServesLocalReads(t *testing.T) {
+	sim := runSynthetic(t, Rep(), apps.SynReadShared, 128, 8)
+	base := runSynthetic(t, Rep(), apps.SynReadShared, 128, 2)
+	// Longer runs add sweeps after replication; the extra sweeps must
+	// add mostly local misses, so remote misses grow sublinearly.
+	extraRemote := sim.TotalRemoteMisses() - base.TotalRemoteMisses()
+	if extraRemote > base.TotalRemoteMisses() {
+		t.Errorf("post-replication sweeps still mostly remote: +%d over %d",
+			extraRemote, base.TotalRemoteMisses())
+	}
+}
+
+func TestGatherFlushesDirtyBlocks(t *testing.T) {
+	m := mk(t, MigRep())
+	cpu := m.sched.CPUByID(0)
+	// Home page 0 at node 0 and dirty a block at node 1.
+	m.pt.FirstTouch(0, 0)
+	m.mapped[0][0] = true
+	c4 := m.sched.CPUByID(4)
+	m.mapped[1][0] = true
+	m.pt.Entry(0).Mode[1] = 1 // ccnuma
+	m.access(c4, 0, true)
+	if owner, dirty := m.dir.IsDirtyRemote(0, 0); !dirty || owner != 1 {
+		t.Fatalf("setup failed: owner=%d dirty=%v", owner, dirty)
+	}
+	flushed := m.gatherPage(0)
+	if flushed == 0 {
+		t.Error("gather flushed nothing")
+	}
+	if _, dirty := m.dir.IsDirtyRemote(0, 0); dirty {
+		t.Error("block still dirty after gather")
+	}
+	if m.nodeHolds(1, 0) {
+		t.Error("node 1 still holds the block after gather")
+	}
+	_ = cpu
+}
+
+func TestSlowThresholdsReduceOps(t *testing.T) {
+	tr, err := apps.GenerateSynthetic(apps.SynMigratory, apps.SyntheticParams{CPUs: 32, KBPerNode: 96, Iters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(tr, MigRep(), config.DefaultCluster(), config.Default(), config.DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(tr, MigRep(), config.DefaultCluster(), config.Slow(), config.SlowThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.PageOpsByKind(stats.Migration) > fast.PageOpsByKind(stats.Migration) {
+		t.Errorf("raised threshold increased migrations: %d > %d",
+			slow.PageOpsByKind(stats.Migration), fast.PageOpsByKind(stats.Migration))
+	}
+}

@@ -1,0 +1,184 @@
+package dsm
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func TestCollapseBlocksImmediateReplication(t *testing.T) {
+	// Replication-only: with migration enabled the page would instead
+	// migrate to the hot reader during the cooldown window.
+	m := mk(t, Rep())
+	m.pt.FirstTouch(0, 0)
+	cnt := m.migCounter(0)
+	c4 := m.sched.CPUByID(4)
+
+	// Drive node 1 over the read threshold: first replication fires.
+	for i := 0; i < m.th.MigRepThreshold; i++ {
+		m.pokeMigRep(c4, 1, 0, false)
+	}
+	if m.st.Nodes[1].PageOps[stats.Replication] != 1 {
+		t.Fatalf("replications = %d, want 1", m.st.Nodes[1].PageOps[stats.Replication])
+	}
+
+	// A write collapses; the counters zero and noRepl blocks a retry.
+	c8 := m.sched.CPUByID(8)
+	m.collapse(c8, 2, 0)
+	if !cnt.noRepl {
+		t.Fatal("collapse did not set the replication block")
+	}
+	for i := 0; i < m.th.MigRepThreshold+10; i++ {
+		m.pokeMigRep(c4, 1, 0, false)
+	}
+	if got := m.st.Nodes[1].PageOps[stats.Replication]; got != 1 {
+		t.Errorf("replication re-fired during cooldown: %d ops", got)
+	}
+
+	// After a reset the page is eligible again.
+	cnt.reset()
+	for i := 0; i < m.th.MigRepThreshold; i++ {
+		m.pokeMigRep(c4, 1, 0, false)
+	}
+	if got := m.st.Nodes[1].PageOps[stats.Replication]; got != 2 {
+		t.Errorf("replication did not re-fire after reset: %d ops", got)
+	}
+}
+
+func TestHomeUseWeighsAgainstMigration(t *testing.T) {
+	m := mk(t, Mig())
+	m.pt.FirstTouch(0, 0)
+	cnt := m.migCounter(0)
+	c0 := m.sched.CPUByID(0)
+	c4 := m.sched.CPUByID(4)
+
+	// The home uses the page as much as the remote node: no migration.
+	for i := 0; i < m.th.MigRepThreshold+20; i++ {
+		m.pokeMigRep(c0, 0, 0, i%2 == 0) // home accesses
+		m.pokeMigRep(c4, 1, 0, false)    // remote requests
+	}
+	if got := m.st.Nodes[1].PageOps[stats.Migration]; got != 0 {
+		t.Errorf("page migrated away from an active home: %d ops", got)
+	}
+	if cnt.homeUse == 0 {
+		t.Error("home use not recorded")
+	}
+
+	// An idle home loses the page.
+	m2 := mk(t, Mig())
+	m2.pt.FirstTouch(0, 0)
+	c4b := m2.sched.CPUByID(4)
+	for i := 0; i < m2.th.MigRepThreshold; i++ {
+		m2.pokeMigRep(c4b, 1, 0, false)
+	}
+	if got := m2.st.Nodes[1].PageOps[stats.Migration]; got != 1 {
+		t.Errorf("page did not migrate from idle home: %d ops", got)
+	}
+	if m2.HomeOf(0) != 1 {
+		t.Errorf("home = %d after migration, want 1", m2.HomeOf(0))
+	}
+}
+
+func TestHomeWritesDoNotBlockReplication(t *testing.T) {
+	m := mk(t, Rep())
+	m.pt.FirstTouch(0, 0)
+	c0 := m.sched.CPUByID(0)
+	c4 := m.sched.CPUByID(4)
+	// The home writes its own page; a remote node only reads it.
+	for i := 0; i < 50; i++ {
+		m.pokeMigRep(c0, 0, 0, true)
+	}
+	for i := 0; i < m.th.MigRepThreshold; i++ {
+		m.pokeMigRep(c4, 1, 0, false)
+	}
+	if got := m.st.Nodes[1].PageOps[stats.Replication]; got != 1 {
+		t.Errorf("home-local writes blocked replication: %d ops", got)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// One CPU waits at a barrier nobody else reaches.
+	tr := tinyTrace(1<<16, map[int][]trace.Op{
+		0: {{Kind: trace.Barrier, Arg: 0}},
+	})
+	m, err := NewMachine(CCNUMA(), config.DefaultCluster(), config.Default(),
+		config.DefaultThresholds(), tr.Footprint, tr.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Execute(tr); err == nil {
+		t.Error("deadlocked trace executed without error")
+	}
+}
+
+func TestPaperShapeHolds(t *testing.T) {
+	// The headline qualitative result at a moderate scale: R-NUMA beats
+	// CC-NUMA on the capacity-bound workloads, and MigRep never loses
+	// badly to CC-NUMA.
+	if testing.Short() {
+		t.Skip("shape check in -short mode")
+	}
+	cl := config.DefaultCluster()
+	tm, th := config.Default(), config.DefaultThresholds()
+	for _, name := range []string{"lu", "radix"} {
+		info, err := apps.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := info.Generate(apps.Params{CPUs: 32, Scale: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cc, err := Run(tr, CCNUMA(), cl, tm, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, err := Run(tr, RNUMA(), cl, tm, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := Run(tr, MigRep(), cl, tm, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rn.ExecCycles >= cc.ExecCycles {
+			t.Errorf("%s: R-NUMA (%d) did not beat CC-NUMA (%d)", name, rn.ExecCycles, cc.ExecCycles)
+		}
+		if float64(mr.ExecCycles) > 1.15*float64(cc.ExecCycles) {
+			t.Errorf("%s: MigRep (%d) much worse than CC-NUMA (%d)", name, mr.ExecCycles, cc.ExecCycles)
+		}
+	}
+}
+
+func TestNetworkScalingHurtsCCNUMAMost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape check in -short mode")
+	}
+	cl := config.DefaultCluster()
+	th := config.DefaultThresholds()
+	info, err := apps.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := info.Generate(apps.Params{CPUs: 32, Scale: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowNet := config.Default().ScaleNetwork(4)
+	ccBase, _ := Run(tr, CCNUMA(), cl, config.Default(), th)
+	cc4x, _ := Run(tr, CCNUMA(), cl, slowNet, th)
+	rnBase, _ := Run(tr, RNUMA(), cl, config.Default(), th)
+	rn4x, _ := Run(tr, RNUMA(), cl, slowNet, th)
+	ccGrowth := float64(cc4x.ExecCycles) / float64(ccBase.ExecCycles)
+	rnGrowth := float64(rn4x.ExecCycles) / float64(rnBase.ExecCycles)
+	if ccGrowth <= 1.0 {
+		t.Errorf("4x latency did not slow CC-NUMA (growth %.3f)", ccGrowth)
+	}
+	if rnGrowth >= ccGrowth {
+		t.Errorf("R-NUMA (%.3f) degraded as much as CC-NUMA (%.3f) under latency",
+			rnGrowth, ccGrowth)
+	}
+}

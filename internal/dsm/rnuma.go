@@ -1,0 +1,154 @@
+package dsm
+
+import (
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/memory"
+	"repro/internal/stats"
+)
+
+// maybeRelocate runs the R-NUMA relocation interrupt for node n on page
+// p after its refetch counter crossed the threshold. Relocation is a
+// purely local operation: flush the node's cached copies of the page,
+// unmap it, allocate a frame in the S-COMA page cache (evicting the LRU
+// page if full), and remap; the necessary blocks are refetched on
+// demand.
+func (m *Machine) maybeRelocate(c *engine.CPU, n int, p memory.Page) {
+	if m.spec.RelocDelayMisses > 0 &&
+		m.pageMissTotal[p] < int64(m.spec.RelocDelayMisses) {
+		return
+	}
+	e := m.pt.Entry(p)
+	if e.Home == n || e.Mode[n] == memory.ModeReplica {
+		return
+	}
+	ns := &m.st.Nodes[n]
+	pc := m.pc[n]
+	var cost int64
+
+	// Make room: deallocate the least-recently-used page frame.
+	if pc.Full() {
+		victim := pc.EvictLRU()
+		flushed := m.flushFrame(n, victim)
+		cost += m.tm.PageOpCost(flushed)
+		m.pt.Entry(victim.Page).Mode[n] = memory.ModeCCNUMA
+		m.ref[n][victim.Page] = 0
+		ns.PageOps[stats.Replacement]++
+	}
+
+	// Flush our CC-NUMA cached copies of the page; they will be
+	// refetched into the frame on demand.
+	flushed := 0
+	b0 := p.FirstBlock()
+	for i := 0; i < config.BlocksPerPage; i++ {
+		b := b0 + memory.Block(i)
+		present, dirty := m.invalidateOnNode(n, b, false)
+		if present {
+			flushed++
+			if dirty {
+				m.writebackRemote(n, e.Home, b, c.Clock)
+			} else {
+				m.dir.DropSharer(b, n)
+			}
+		}
+	}
+	cost += m.tm.PageOpCost(flushed)
+
+	pc.Allocate(p)
+	e.Mode[n] = memory.ModeSCOMA
+	m.ref[n][p] = 0
+	ns.PageOps[stats.Relocation]++
+	ns.PageOpCycles += cost
+	c.Clock += cost
+}
+
+// mapSCOMA statically places a just-faulted remote page into node n's
+// page cache (the AlwaysSCOMA policy): allocate a frame, evicting the
+// LRU page if the cache is full, and map the page in S-COMA mode. The
+// caller has already charged the soft fault; this adds the allocation
+// and any replacement cost.
+func (m *Machine) mapSCOMA(c *engine.CPU, n int, p memory.Page) {
+	pc := m.pc[n]
+	if pc.Entry(p) != nil {
+		return
+	}
+	ns := &m.st.Nodes[n]
+	var cost int64
+	if pc.Full() {
+		victim := pc.EvictLRU()
+		flushed := m.flushFrame(n, victim)
+		cost += m.tm.PageOpCost(flushed)
+		m.pt.Entry(victim.Page).Mode[n] = memory.ModeCCNUMA
+		m.mapped[n][victim.Page] = false // remapping faults on next touch
+		ns.PageOps[stats.Replacement]++
+	}
+	pc.Allocate(p)
+	m.pt.Entry(p).Mode[n] = memory.ModeSCOMA
+	ns.PageOps[stats.Relocation]++
+	ns.PageOpCycles += cost
+	c.Clock += cost
+}
+
+// flushFrame writes a deallocated S-COMA frame's dirty blocks back to
+// the home node and purges the node's L1 copies of the page (the local
+// physical mapping is going away). It returns the number of valid blocks
+// flushed.
+func (m *Machine) flushFrame(n int, fr *cache.PageEntry) (flushed int) {
+	p := fr.Page
+	e := m.pt.Entry(p)
+	b0 := p.FirstBlock()
+	for i := 0; i < config.BlocksPerPage; i++ {
+		bit := uint64(1) << uint(i)
+		if fr.Valid&bit == 0 {
+			continue
+		}
+		b := b0 + memory.Block(i)
+		flushed++
+		dirty := fr.Dirty&bit != 0
+		// Inclusion of the frame over the L1s: purge processor copies.
+		if m.l1count[n][b] > 0 {
+			lo, hi := m.cpusOf(n)
+			for c := lo; c < hi; c++ {
+				if present, d := m.l1[c].Invalidate(b); present {
+					m.l1count[n][b]--
+					dirty = dirty || d
+				}
+			}
+		}
+		if dirty {
+			m.writebackRemote(n, e.Home, b, 0)
+		} else {
+			m.dir.DropSharer(b, n)
+		}
+		m.flags[n][b] &^= flagDepartInval // capacity departure
+	}
+	fr.Valid, fr.Dirty = 0, 0
+	return flushed
+}
+
+// RefetchCounter exposes a page's current refetch count at a node, for
+// tests.
+func (m *Machine) RefetchCounter(node int, p memory.Page) int {
+	if m.ref[node] == nil || uint64(p) >= uint64(len(m.ref[node])) {
+		return 0
+	}
+	return int(m.ref[node][p])
+}
+
+// PageCacheLen exposes the number of resident pages in a node's page
+// cache, for tests.
+func (m *Machine) PageCacheLen(node int) int {
+	if m.pc == nil {
+		return 0
+	}
+	return m.pc[node].Len()
+}
+
+// PageMode exposes the caching mode of page p at a node, for tests.
+func (m *Machine) PageMode(node int, p memory.Page) memory.PageMode {
+	return m.pt.Entry(p).Mode[node]
+}
+
+// HomeOf exposes a page's current home node, for tests.
+func (m *Machine) HomeOf(p memory.Page) int { return m.pt.Entry(p).Home }

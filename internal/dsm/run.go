@@ -1,0 +1,142 @@
+package dsm
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/memory"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Run executes a trace on a freshly built machine and returns the
+// collected statistics.
+func Run(tr *trace.Trace, spec Spec, cl config.Cluster, tm config.Timing, th config.Thresholds) (*stats.Sim, error) {
+	m, err := NewMachine(spec, cl, tm, th, tr.Footprint, tr.Name)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Execute(tr); err != nil {
+		return nil, err
+	}
+	return m.Stats(), nil
+}
+
+// Execute replays the trace to completion on the machine.
+func (m *Machine) Execute(tr *trace.Trace) error {
+	if tr.NumCPUs() != m.cl.TotalCPUs() {
+		return fmt.Errorf("dsm: trace has %d cpus, machine has %d", tr.NumCPUs(), m.cl.TotalCPUs())
+	}
+	pos := make([]int, tr.NumCPUs())
+	sched := m.sched
+
+	for !sched.Done() {
+		c := sched.Next()
+		if c == nil {
+			return fmt.Errorf("dsm: deadlock: no runnable cpu (%s)", tr.Name)
+		}
+		ops := tr.CPUs[c.ID]
+		if pos[c.ID] >= len(ops) {
+			sched.Finish(c)
+			continue
+		}
+		op := ops[pos[c.ID]]
+		pos[c.ID]++
+		c.Clock += int64(op.Gap)
+
+		switch op.Kind {
+		case trace.Read:
+			m.access(c, memory.Block(op.Arg), false)
+			sched.Yield(c)
+		case trace.Write:
+			m.access(c, memory.Block(op.Arg), true)
+			sched.Yield(c)
+		case trace.Barrier:
+			arrive := c.Clock
+			release, waiters, ok := m.barrier.Arrive(c)
+			if !ok {
+				sched.Block(c)
+				continue
+			}
+			n := m.nodeOf(c.ID)
+			m.st.Nodes[n].SyncCycles += c.Clock - arrive
+			for _, w := range waiters {
+				wn := m.nodeOf(w.ID)
+				m.st.Nodes[wn].SyncCycles += release - w.Clock
+				sched.Unblock(w, release)
+			}
+			sched.Yield(c)
+		case trace.Lock:
+			l := m.lock(op.Arg)
+			before := c.Clock
+			if !l.Acquire(c) {
+				sched.Block(c)
+				continue
+			}
+			m.chargeLock(c, op.Arg, before)
+			sched.Yield(c)
+		case trace.Unlock:
+			l := m.lock(op.Arg)
+			m.lockOwn[op.Arg] = m.nodeOf(c.ID)
+			if next := l.Release(c.Clock); next != nil {
+				granted := c.Clock
+				sched.Unblock(next, granted)
+				m.chargeLock(next, op.Arg, granted)
+			}
+			sched.Yield(c)
+		case trace.Phase:
+			if !m.phaseDone {
+				m.phaseDone = true
+				// The paper's user-invoked directive starts page
+				// monitoring at the beginning of the parallel phase:
+				// discard reference counts from initialization.
+				for _, cnt := range m.mig {
+					if cnt != nil {
+						cnt.reset()
+					}
+				}
+			}
+			sched.Yield(c)
+		case trace.Pad:
+			sched.Yield(c)
+		default:
+			return fmt.Errorf("dsm: unknown op kind %v", op.Kind)
+		}
+	}
+	m.st.ExecCycles = sched.MaxClock()
+	return nil
+}
+
+// lock returns the engine lock for a trace lock id, creating it lazily.
+func (m *Machine) lock(id uint64) *engine.Lock {
+	l := m.locks[id]
+	if l == nil {
+		l = engine.NewLock()
+		m.locks[id] = l
+	}
+	return l
+}
+
+// chargeLock accounts the cost of a successful lock acquisition: the
+// wait (if the lock was contended) counts as synchronization time, and
+// the acquisition itself costs a local or remote memory transaction on
+// the lock word depending on where it was last held.
+func (m *Machine) chargeLock(c *engine.CPU, id uint64, requested int64) {
+	n := m.nodeOf(c.ID)
+	ns := &m.st.Nodes[n]
+	if c.Clock > requested {
+		ns.SyncCycles += c.Clock - requested
+	}
+	last, seen := m.lockOwn[id]
+	var lat int64
+	if !seen || last == n {
+		lat = m.tm.LocalMiss
+	} else {
+		lat = m.tm.RemoteMiss
+		ns.TrafficBytes += msgHeaderBytes + msgBlockBytes
+	}
+	c.Clock += lat
+	ns.SyncCycles += lat
+	m.lockOwn[id] = n
+}

@@ -1,0 +1,70 @@
+package dsm
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+func TestSCOMAMapsOnFirstTouch(t *testing.T) {
+	sim := runSynthetic(t, SCOMA(), apps.SynStream, 128, 4)
+	// Static placement: relocations equal the remote pages touched, and
+	// they happen immediately (before any refetch accumulates).
+	if sim.PageOpsByKind(stats.Relocation) == 0 {
+		t.Fatal("static S-COMA performed no placements")
+	}
+	var hits int64
+	for i := range sim.Nodes {
+		hits += sim.Nodes[i].PageCacheHits
+	}
+	if hits == 0 {
+		t.Error("no page cache hits under static S-COMA")
+	}
+}
+
+func TestSCOMABeatsCCNUMAOnReuseButThrashesUnderPressure(t *testing.T) {
+	// With the footprint fitting the page cache, static S-COMA wins on
+	// reuse like R-NUMA does.
+	sc := runSynthetic(t, SCOMA(), apps.SynStream, 256, 8)
+	cc := runSynthetic(t, CCNUMA(), apps.SynStream, 256, 8)
+	if sc.ExecCycles >= cc.ExecCycles {
+		t.Errorf("S-COMA (%d) did not beat CC-NUMA (%d) on streaming reuse",
+			sc.ExecCycles, cc.ExecCycles)
+	}
+	// Under pressure the static policy replaces pages it should never
+	// have admitted; reactive R-NUMA filters by refetch count and does
+	// no worse.
+	spec := SCOMA()
+	spec.PageCacheBytes = 64 * config.PageBytes
+	scSmall := runSynthetic(t, spec, apps.SynThrash, 256, 4)
+	rnSpec := RNUMA()
+	rnSpec.PageCacheBytes = 64 * config.PageBytes
+	rnSmall := runSynthetic(t, rnSpec, apps.SynThrash, 256, 4)
+	if scSmall.PageOpsByKind(stats.Replacement) == 0 {
+		t.Error("static S-COMA under pressure never replaced")
+	}
+	if scSmall.PageOpsByKind(stats.Replacement) < rnSmall.PageOpsByKind(stats.Replacement) {
+		t.Errorf("static S-COMA replaced less (%d) than reactive R-NUMA (%d) under pressure",
+			scSmall.PageOpsByKind(stats.Replacement), rnSmall.PageOpsByKind(stats.Replacement))
+	}
+}
+
+func TestSCOMAVerifies(t *testing.T) {
+	tr, err := apps.GenerateSynthetic(apps.SynWriteShared, apps.SyntheticParams{CPUs: 32, KBPerNode: 64, Iters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(SCOMA(), config.DefaultCluster(), config.Default(),
+		config.DefaultThresholds(), tr.Footprint, tr.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Execute(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Verify(); err != nil {
+		t.Error(err)
+	}
+}

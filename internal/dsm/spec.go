@@ -1,0 +1,139 @@
+// Package dsm implements the simulated DSM cluster machines the paper
+// compares: CC-NUMA with a finite or infinite (perfect) block cache,
+// CC-NUMA with page migration and/or replication (MigRep), R-NUMA with a
+// finite, halved or infinite S-COMA page cache, and the R-NUMA+MigRep
+// integration.
+//
+// A single Machine executes a dependence-preserving application trace
+// under a configurable timing model, applying the per-system policy
+// described by a Spec.
+package dsm
+
+import "repro/internal/config"
+
+// Spec selects the remote-caching hardware and page-relocation policies
+// of one simulated system.
+type Spec struct {
+	// Name labels the system in reports ("CC-NUMA", "R-NUMA", ...).
+	Name string
+
+	// BlockCacheBytes sizes the per-node CC-NUMA block cache. Zero
+	// means no block cache (R-NUMA systems omit it).
+	BlockCacheBytes int
+
+	// InfiniteBlockCache builds the perfect CC-NUMA baseline.
+	InfiniteBlockCache bool
+
+	// PageCacheBytes sizes the per-node S-COMA page cache; meaningful
+	// only when RNUMA is set. Zero with RNUMA set means unbounded.
+	PageCacheBytes int
+
+	// RNUMA enables reactive page relocation into the page cache.
+	RNUMA bool
+
+	// Migration enables home-driven page migration.
+	Migration bool
+
+	// Replication enables home-driven page replication.
+	Replication bool
+
+	// RelocDelayMisses, when non-zero, forbids R-NUMA relocation of a
+	// page until it has accumulated this many remote misses, giving
+	// migration/replication first shot at it (Section 6.4).
+	RelocDelayMisses int
+
+	// AlwaysSCOMA statically maps every remote page into the page cache
+	// on first touch instead of reacting to refetch counters — the
+	// S3.mp/ASCOMA-style policy the paper's related work contrasts
+	// R-NUMA against. Requires RNUMA.
+	AlwaysSCOMA bool
+}
+
+// HasBlockCache reports whether the system includes a block cache.
+func (s Spec) HasBlockCache() bool {
+	return s.InfiniteBlockCache || s.BlockCacheBytes > 0
+}
+
+// MigRep reports whether either page migration or replication is on.
+func (s Spec) MigRep() bool { return s.Migration || s.Replication }
+
+// PerfectCCNUMA is the normalization baseline: CC-NUMA with an infinite
+// block cache.
+func PerfectCCNUMA() Spec {
+	return Spec{Name: "Perfect", InfiniteBlockCache: true}
+}
+
+// CCNUMA is the base system: a 64-KB 4-way inclusive block cache.
+func CCNUMA() Spec {
+	return Spec{Name: "CC-NUMA", BlockCacheBytes: config.BlockCacheBytes}
+}
+
+// Rep is CC-NUMA with page replication only.
+func Rep() Spec {
+	s := CCNUMA()
+	s.Name = "Rep"
+	s.Replication = true
+	return s
+}
+
+// Mig is CC-NUMA with page migration only.
+func Mig() Spec {
+	s := CCNUMA()
+	s.Name = "Mig"
+	s.Migration = true
+	return s
+}
+
+// MigRep is CC-NUMA with both page migration and replication.
+func MigRep() Spec {
+	s := CCNUMA()
+	s.Name = "MigRep"
+	s.Migration = true
+	s.Replication = true
+	return s
+}
+
+// RNUMA is the base R-NUMA system: no block cache, a 2.4-MB page cache.
+func RNUMA() Spec {
+	return Spec{Name: "R-NUMA", RNUMA: true, PageCacheBytes: config.PageCacheBytes}
+}
+
+// RNUMAInf is R-NUMA with an unbounded page cache.
+func RNUMAInf() Spec {
+	return Spec{Name: "R-NUMA-Inf", RNUMA: true}
+}
+
+// RNUMAHalf is R-NUMA with half the base page cache (1.2 MB).
+func RNUMAHalf() Spec {
+	return Spec{Name: "R-NUMA-1/2", RNUMA: true, PageCacheBytes: config.PageCacheBytes / 2}
+}
+
+// RNUMAHalfMigRep integrates page migration/replication with the halved
+// R-NUMA, delaying relocation per Section 6.4.
+func RNUMAHalfMigRep(delayMisses int) Spec {
+	s := RNUMAHalf()
+	s.Name = "R-NUMA-1/2+MigRep"
+	s.Migration = true
+	s.Replication = true
+	s.RelocDelayMisses = delayMisses
+	return s
+}
+
+// SCOMA is the static fine-grain caching ablation: every remote page is
+// placed in the page cache on first touch, with no reactive selection.
+// It shows why R-NUMA's hybrid beats an S-COMA-only design under page
+// cache pressure (the trade-off the original R-NUMA paper established
+// and this paper's related-work section revisits via S3.mp and ASCOMA).
+func SCOMA() Spec {
+	return Spec{
+		Name:           "S-COMA",
+		RNUMA:          true,
+		PageCacheBytes: config.PageCacheBytes,
+		AlwaysSCOMA:    true,
+	}
+}
+
+// AllBaseSystems returns the systems of Figure 5 in presentation order.
+func AllBaseSystems() []Spec {
+	return []Spec{CCNUMA(), Rep(), Mig(), MigRep(), RNUMA(), RNUMAInf()}
+}

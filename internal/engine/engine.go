@@ -1,0 +1,321 @@
+// Package engine provides the discrete-event core of the simulator: a set
+// of processor clocks advanced in global time order, queued resources that
+// model contention (memory buses, network interfaces, home controllers),
+// and synchronization objects (barriers and locks) whose waiting time is
+// charged in simulated cycles.
+//
+// The engine is deterministic: when several processors are eligible at the
+// same simulated time, the lowest-numbered processor runs first.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulated time in processor cycles.
+type Time = int64
+
+// Resource models a unit-capacity server with FIFO queuing: a request
+// arriving at time t begins service at max(t, nextFree) and holds the
+// resource for its occupancy. This is the standard analytic contention
+// model for split-transaction buses and network interfaces.
+type Resource struct {
+	name     string
+	nextFree Time
+	busy     Time // accumulated busy cycles, for utilization reports
+	uses     int64
+}
+
+// NewResource returns a named, initially idle resource.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// Acquire occupies the resource for occ cycles starting no earlier than
+// now, and returns the time at which service completes. The differences
+// between the return value and now is the total delay (queuing plus
+// service) experienced by the request.
+func (r *Resource) Acquire(now Time, occ Time) Time {
+	start := now
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	end := start + occ
+	r.nextFree = end
+	r.busy += occ
+	r.uses++
+	return end
+}
+
+// Peek returns the earliest time a new request could begin service.
+func (r *Resource) Peek() Time { return r.nextFree }
+
+// Busy returns the total cycles the resource has been occupied.
+func (r *Resource) Busy() Time { return r.busy }
+
+// Uses returns the number of acquisitions.
+func (r *Resource) Uses() int64 { return r.uses }
+
+// Name returns the resource's label.
+func (r *Resource) Name() string { return r.name }
+
+// Reset returns the resource to its initial idle state.
+func (r *Resource) Reset() {
+	r.nextFree = 0
+	r.busy = 0
+	r.uses = 0
+}
+
+// cpuState is the scheduling state of one simulated processor.
+type cpuState int
+
+const (
+	cpuRunnable cpuState = iota
+	cpuBlocked           // waiting at a barrier or on a lock
+	cpuDone
+)
+
+// CPU is one simulated processor context managed by the Scheduler.
+type CPU struct {
+	ID    int
+	Clock Time
+
+	state cpuState
+	index int // position in the runnable heap, -1 if not queued
+}
+
+// Scheduler advances a fixed set of CPUs in global simulated-time order.
+// The caller repeatedly calls Next to obtain the earliest runnable CPU,
+// performs one unit of that CPU's work (advancing its Clock), and calls
+// Yield to requeue it.
+type Scheduler struct {
+	cpus []*CPU
+	heap cpuHeap
+	done int
+}
+
+// NewScheduler creates a scheduler over n CPUs, all runnable at time 0.
+func NewScheduler(n int) *Scheduler {
+	s := &Scheduler{cpus: make([]*CPU, n)}
+	s.heap = make(cpuHeap, 0, n)
+	for i := 0; i < n; i++ {
+		c := &CPU{ID: i, index: -1}
+		s.cpus[i] = c
+		heap.Push(&s.heap, c)
+	}
+	return s
+}
+
+// NumCPUs returns the number of processors under management.
+func (s *Scheduler) NumCPUs() int { return len(s.cpus) }
+
+// CPUByID returns the processor with the given id.
+func (s *Scheduler) CPUByID(id int) *CPU { return s.cpus[id] }
+
+// Next pops the runnable CPU with the smallest clock (ties broken by id).
+// It returns nil when no CPU is runnable: either all are done, or the
+// system has deadlocked on synchronization (which Done distinguishes).
+func (s *Scheduler) Next() *CPU {
+	if s.heap.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&s.heap).(*CPU)
+}
+
+// Yield requeues a CPU obtained from Next so it can run again.
+func (s *Scheduler) Yield(c *CPU) {
+	if c.state != cpuRunnable {
+		panic(fmt.Sprintf("engine: yield of non-runnable cpu %d", c.ID))
+	}
+	heap.Push(&s.heap, c)
+}
+
+// Block marks a CPU (obtained from Next) as waiting on synchronization.
+// It must later be released with Unblock.
+func (s *Scheduler) Block(c *CPU) { c.state = cpuBlocked }
+
+// Unblock makes a blocked CPU runnable at the given time and requeues it.
+func (s *Scheduler) Unblock(c *CPU, at Time) {
+	if c.state != cpuBlocked {
+		panic(fmt.Sprintf("engine: unblock of non-blocked cpu %d", c.ID))
+	}
+	if at > c.Clock {
+		c.Clock = at
+	}
+	c.state = cpuRunnable
+	heap.Push(&s.heap, c)
+}
+
+// Finish retires a CPU obtained from Next.
+func (s *Scheduler) Finish(c *CPU) {
+	c.state = cpuDone
+	s.done++
+}
+
+// Done reports whether every CPU has finished.
+func (s *Scheduler) Done() bool { return s.done == len(s.cpus) }
+
+// MaxClock returns the maximum clock over all CPUs — the simulated
+// execution time once Done.
+func (s *Scheduler) MaxClock() Time {
+	var m Time
+	for _, c := range s.cpus {
+		if c.Clock > m {
+			m = c.Clock
+		}
+	}
+	return m
+}
+
+// cpuHeap orders CPUs by (Clock, ID).
+type cpuHeap []*CPU
+
+func (h cpuHeap) Len() int { return len(h) }
+func (h cpuHeap) Less(i, j int) bool {
+	if h[i].Clock != h[j].Clock {
+		return h[i].Clock < h[j].Clock
+	}
+	return h[i].ID < h[j].ID
+}
+func (h cpuHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *cpuHeap) Push(x any) {
+	c := x.(*CPU)
+	c.index = len(*h)
+	*h = append(*h, c)
+}
+func (h *cpuHeap) Pop() any {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	c.index = -1
+	*h = old[:n-1]
+	return c
+}
+
+// Barrier synchronizes a fixed population of CPUs: the last arriver
+// releases everyone at max(arrival times) plus the release overhead.
+type Barrier struct {
+	population int
+	overhead   Time
+
+	waiting []*CPU
+	maxTime Time
+	epochs  int64
+}
+
+// NewBarrier creates a barrier for the given population. overhead is
+// added to the release time to account for the barrier implementation's
+// own communication.
+func NewBarrier(population int, overhead Time) *Barrier {
+	if population <= 0 {
+		panic("engine: barrier population must be positive")
+	}
+	return &Barrier{population: population, overhead: overhead}
+}
+
+// Arrive registers c at the barrier. If c is the last arriver, Arrive
+// returns the release time and the slice of previously waiting CPUs that
+// the caller must Unblock at that time; c itself remains runnable and its
+// clock is advanced to the release time. Otherwise Arrive returns ok =
+// false and the caller must Block c.
+func (b *Barrier) Arrive(c *CPU) (release Time, waiters []*CPU, ok bool) {
+	if c.Clock > b.maxTime {
+		b.maxTime = c.Clock
+	}
+	if len(b.waiting)+1 == b.population {
+		release = b.maxTime + b.overhead
+		waiters = b.waiting
+		b.waiting = nil
+		b.maxTime = 0
+		b.epochs++
+		c.Clock = release
+		return release, waiters, true
+	}
+	b.waiting = append(b.waiting, c)
+	return 0, nil, false
+}
+
+// Epochs returns how many times the barrier has released.
+func (b *Barrier) Epochs() int64 { return b.epochs }
+
+// Waiting returns how many CPUs are currently parked at the barrier.
+func (b *Barrier) Waiting() int { return len(b.waiting) }
+
+// Lock models a mutex acquired in simulated-time order. Acquisition is
+// serialized: a CPU that requests the lock while it is held is parked and
+// released when the holder unlocks. The memory-system cost of the lock
+// operation itself (the remote access to the lock word) is charged by the
+// caller, not the Lock.
+type Lock struct {
+	held    bool
+	holder  int
+	freeAt  Time
+	waiters []*CPU
+	acqs    int64
+	maxQ    int
+}
+
+// NewLock returns an unlocked lock.
+func NewLock() *Lock { return &Lock{holder: -1} }
+
+// Acquire attempts to take the lock for c at its current clock. On
+// success it returns ok = true (the caller keeps c runnable; c.Clock may
+// have been advanced to the time the lock became free). On failure the
+// caller must Block c; the CPU will be handed back by a later Release.
+func (l *Lock) Acquire(c *CPU) (ok bool) {
+	if !l.held {
+		l.held = true
+		l.holder = c.ID
+		if l.freeAt > c.Clock {
+			c.Clock = l.freeAt
+		}
+		l.acqs++
+		return true
+	}
+	l.waiters = append(l.waiters, c)
+	if len(l.waiters) > l.maxQ {
+		l.maxQ = len(l.waiters)
+	}
+	return false
+}
+
+// Release frees the lock at time now. If CPUs are waiting, the first
+// waiter becomes the new holder and is returned so the caller can
+// Unblock it at now; otherwise next is nil.
+func (l *Lock) Release(now Time) (next *CPU) {
+	if !l.held {
+		panic("engine: release of unheld lock")
+	}
+	l.freeAt = now
+	if len(l.waiters) == 0 {
+		l.held = false
+		l.holder = -1
+		return nil
+	}
+	next = l.waiters[0]
+	copy(l.waiters, l.waiters[1:])
+	l.waiters = l.waiters[:len(l.waiters)-1]
+	l.holder = next.ID
+	l.acqs++
+	return next
+}
+
+// Holder returns the id of the current holder, or -1.
+func (l *Lock) Holder() int {
+	if !l.held {
+		return -1
+	}
+	return l.holder
+}
+
+// Acquisitions returns how many times the lock has been taken.
+func (l *Lock) Acquisitions() int64 { return l.acqs }
+
+// MaxQueue returns the longest waiter queue observed.
+func (l *Lock) MaxQueue() int { return l.maxQ }

@@ -1,0 +1,27 @@
+package harness
+
+import (
+	"io"
+
+	"repro/internal/stats"
+)
+
+// WriteCSV emits a completed experiment as machine-readable rows for
+// downstream plotting: one row per (application, system) run.
+func (r *Result) WriteCSV(w io.Writer) error {
+	if err := stats.WriteCSVHeader(w); err != nil {
+		return err
+	}
+	for _, app := range r.AppOrder {
+		for _, sys := range r.Systems {
+			run := r.Runs[app][sys]
+			if run == nil {
+				continue
+			}
+			if err := run.Stats.WriteCSVRow(w, r.Name, run.Norm); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

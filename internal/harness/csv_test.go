@@ -1,0 +1,29 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestResultWriteCSV(t *testing.T) {
+	var out bytes.Buffer
+	r, err := Fig5(opts(&out, "radix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := r.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	// header + one row per system
+	if want := 1 + len(r.Systems); len(lines) != want {
+		t.Fatalf("got %d lines, want %d", len(lines), want)
+	}
+	for _, line := range lines[1:] {
+		if !strings.HasPrefix(line, "fig5,radix,") {
+			t.Errorf("bad row: %s", line)
+		}
+	}
+}

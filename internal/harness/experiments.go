@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/dsm"
+	"repro/internal/stats"
+)
+
+// Fig5 reproduces Figure 5: base performance of CC-NUMA, Rep, Mig,
+// MigRep, R-NUMA and R-NUMA-Inf, normalized to perfect CC-NUMA.
+func Fig5(o Options) (*Result, error) {
+	tm, th := config.Default(), config.DefaultThresholds()
+	var systems []systemRun
+	for _, s := range dsm.AllBaseSystems() {
+		systems = append(systems, systemRun{spec: s, tm: tm, th: th})
+	}
+	r, err := runExperiment("fig5", systems, o)
+	if err != nil {
+		return nil, err
+	}
+	header(o.Out, "Figure 5: base normalized execution time (vs perfect CC-NUMA)")
+	renderNormTable(o.Out, r)
+	return r, nil
+}
+
+// Table4 reproduces Table 4: per-node page operations and per-node
+// remote misses (overall, with capacity/conflict in parentheses) for
+// CC-NUMA, CC-NUMA+MigRep and R-NUMA.
+func Table4(o Options) (*Result, error) {
+	tm, th := config.Default(), config.DefaultThresholds()
+	systems := []systemRun{
+		{spec: dsm.CCNUMA(), tm: tm, th: th},
+		{spec: dsm.MigRep(), tm: tm, th: th},
+		{spec: dsm.RNUMA(), tm: tm, th: th},
+	}
+	r, err := runExperiment("table4", systems, o)
+	if err != nil {
+		return nil, err
+	}
+	header(o.Out, "Table 4: per-node page operations and remote misses (x1000)")
+	fmt.Fprintf(o.Out, "%-10s %9s %11s %10s | %14s %16s %12s\n",
+		"app", "migration", "replication", "relocation", "CC-NUMA", "CC-NUMA+MigRep", "R-NUMA")
+	for _, app := range r.AppOrder {
+		mr := r.Runs[app]["MigRep"].Stats
+		rn := r.Runs[app]["R-NUMA"].Stats
+		cc := r.Runs[app]["CC-NUMA"].Stats
+		row := func(s *stats.Sim) string {
+			return fmt.Sprintf("%.0f (%.0f)",
+				s.PerNodeRemoteMisses()/1000,
+				s.PerNodeRemoteMissesByClass(stats.CapacityConflict)/1000)
+		}
+		fmt.Fprintf(o.Out, "%-10s %9.0f %11.0f %10.0f | %14s %16s %12s\n",
+			app,
+			mr.PerNodePageOps(stats.Migration),
+			mr.PerNodePageOps(stats.Replication),
+			rn.PerNodePageOps(stats.Relocation),
+			row(cc), row(mr), row(rn))
+	}
+	return r, nil
+}
+
+// Fig6 reproduces Figure 6: MigRep and R-NUMA under fast and slow page
+// operation support. Slow systems pay 10x traps and TLB shootdowns plus
+// extra copy time, and use the raised thresholds of Section 6.2.
+func Fig6(o Options) (*Result, error) {
+	fastTM, fastTH := config.Default(), config.DefaultThresholds()
+	slowTM, slowTH := config.Slow(), config.SlowThresholds()
+	systems := []systemRun{
+		{spec: dsm.MigRep(), tm: fastTM, th: fastTH, label: "MigRep-Fast"},
+		{spec: dsm.MigRep(), tm: slowTM, th: slowTH, label: "MigRep-Slow"},
+		{spec: dsm.RNUMA(), tm: fastTM, th: fastTH, label: "R-NUMA-Fast"},
+		{spec: dsm.RNUMA(), tm: slowTM, th: slowTH, label: "R-NUMA-Slow"},
+	}
+	r, err := runExperiment("fig6", systems, o)
+	if err != nil {
+		return nil, err
+	}
+	header(o.Out, "Figure 6: sensitivity to page operation overhead (vs perfect CC-NUMA)")
+	renderNormTable(o.Out, r)
+	return r, nil
+}
+
+// Fig7 reproduces Figure 7: CC-NUMA, MigRep and R-NUMA with the network
+// latency scaled 4x (remote:local ratio of 16).
+func Fig7(o Options) (*Result, error) {
+	tm := config.Default().ScaleNetwork(4)
+	th := config.DefaultThresholds()
+	systems := []systemRun{
+		{spec: dsm.CCNUMA(), tm: tm, th: th},
+		{spec: dsm.MigRep(), tm: tm, th: th},
+		{spec: dsm.RNUMA(), tm: tm, th: th},
+	}
+	r, err := runExperiment("fig7", systems, o)
+	if err != nil {
+		return nil, err
+	}
+	header(o.Out, "Figure 7: 4x network latency (vs perfect CC-NUMA at base latency)")
+	renderNormTable(o.Out, r)
+	return r, nil
+}
+
+// Fig8 reproduces Figure 8: R-NUMA with a halved page cache, with and
+// without integrated MigRep (relocation delayed by 32000 misses), against
+// CC-NUMA, MigRep and base R-NUMA.
+func Fig8(o Options) (*Result, error) {
+	tm, th := config.Default(), config.DefaultThresholds()
+	// The paper delays relocation by one full reset interval (32000
+	// misses), several times the R-NUMA switching threshold, so that
+	// migration/replication gets the first shot at a page while hot
+	// pages still relocate eventually. Our scaled inputs see far fewer
+	// misses per page, so the delay keeps the same ratio to the
+	// switching threshold (32000 = 1000x of 32 at paper scale is
+	// unreachable here; 8x preserves the mechanism without starving
+	// relocation entirely).
+	delay := th.RNUMAThreshold * 8
+	systems := []systemRun{
+		{spec: dsm.CCNUMA(), tm: tm, th: th},
+		{spec: dsm.MigRep(), tm: tm, th: th},
+		{spec: dsm.RNUMAHalf(), tm: tm, th: th},
+		{spec: dsm.RNUMAHalfMigRep(delay), tm: tm, th: th},
+		{spec: dsm.RNUMA(), tm: tm, th: th},
+	}
+	r, err := runExperiment("fig8", systems, o)
+	if err != nil {
+		return nil, err
+	}
+	header(o.Out, "Figure 8: R-NUMA page-cache halving and MigRep integration")
+	renderNormTable(o.Out, r)
+	return r, nil
+}
+
+// Experiments lists the runnable experiment names.
+func Experiments() []string {
+	return []string{"fig5", "table4", "fig6", "fig7", "fig8"}
+}
+
+// RunByName dispatches one experiment.
+func RunByName(name string, o Options) (*Result, error) {
+	switch name {
+	case "fig5":
+		return Fig5(o)
+	case "table4":
+		return Table4(o)
+	case "fig6":
+		return Fig6(o)
+	case "fig7":
+		return Fig7(o)
+	case "fig8":
+		return Fig8(o)
+	default:
+		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", name, Experiments())
+	}
+}

@@ -1,0 +1,259 @@
+// Package harness defines and runs the paper's experiments: Figure 5
+// (base comparison), Table 4 (page operations and miss counts), Figure 6
+// (fast vs slow page operations), Figure 7 (4x network latency), and
+// Figure 8 (R-NUMA page-cache halving with MigRep integration). Each
+// experiment runs every application on the relevant systems, normalizes
+// execution time against perfect CC-NUMA, and renders the same rows the
+// paper reports.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/dsm"
+	"repro/internal/stats"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale shrinks the application inputs (1 = full reproduction
+	// size). Tests and benchmarks use larger values.
+	Scale int
+
+	// Apps restricts the run to the named applications (nil = the
+	// paper's seven).
+	Apps []string
+
+	// Parallel runs the per-application system sets concurrently using
+	// this many workers (0 = serial). Simulations are deterministic and
+	// independent, so this only affects wall-clock time.
+	Parallel int
+
+	// Verbose streams per-run progress lines to Out.
+	Verbose bool
+
+	// Out receives the rendered report (required).
+	Out io.Writer
+}
+
+func (o Options) norm() Options {
+	if o.Scale < 1 {
+		o.Scale = 1
+	}
+	if o.Out == nil {
+		panic("harness: Options.Out is required")
+	}
+	return o
+}
+
+// appList resolves the selected applications.
+func (o Options) appList() ([]apps.Info, error) {
+	if len(o.Apps) == 0 {
+		return apps.Paper(), nil
+	}
+	out := make([]apps.Info, 0, len(o.Apps))
+	for _, n := range o.Apps {
+		i, err := apps.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+// Run is one simulation outcome.
+type Run struct {
+	App    string
+	System string
+	Stats  *stats.Sim
+	// Norm is execution time normalized to perfect CC-NUMA on the same
+	// application.
+	Norm float64
+}
+
+// Result is a completed experiment.
+type Result struct {
+	Name string
+	// Systems in presentation order.
+	Systems []string
+	// Runs indexed by app then system.
+	Runs map[string]map[string]*Run
+	// AppOrder preserves presentation order.
+	AppOrder []string
+}
+
+// Norm returns the normalized execution time for (app, system).
+func (r *Result) Norm(app, system string) float64 {
+	if m := r.Runs[app]; m != nil {
+		if run := m[system]; run != nil {
+			return run.Norm
+		}
+	}
+	return 0
+}
+
+// MeanNorm averages a system's normalized time over all apps.
+func (r *Result) MeanNorm(system string) float64 {
+	var sum float64
+	var n int
+	for _, app := range r.AppOrder {
+		if v := r.Norm(app, system); v > 0 {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// systemRun describes one simulation to execute: a system spec plus its
+// timing/threshold environment.
+type systemRun struct {
+	spec dsm.Spec
+	tm   config.Timing
+	th   config.Thresholds
+	// label overrides spec.Name in reports (e.g. "MigRep-Slow").
+	label string
+}
+
+func (s systemRun) name() string {
+	if s.label != "" {
+		return s.label
+	}
+	return s.spec.Name
+}
+
+// runExperiment generates each app's trace once and replays it on every
+// system in the set.
+func runExperiment(name string, systems []systemRun, o Options) (*Result, error) {
+	o = o.norm()
+	list, err := o.appList()
+	if err != nil {
+		return nil, err
+	}
+	cl := config.DefaultCluster()
+	res := &Result{Name: name, Runs: map[string]map[string]*Run{}}
+	for _, s := range systems {
+		res.Systems = append(res.Systems, s.name())
+	}
+
+	// Every experiment normalizes to perfect CC-NUMA under the base
+	// timing model.
+	baseline := systemRun{spec: dsm.PerfectCCNUMA(), tm: config.Default(), th: config.DefaultThresholds()}
+
+	for _, app := range list {
+		tr, err := app.Generate(apps.Params{CPUs: cl.TotalCPUs(), Scale: o.Scale})
+		if err != nil {
+			return nil, fmt.Errorf("harness: generating %s: %w", app.Name, err)
+		}
+		if o.Verbose {
+			fmt.Fprintf(o.Out, "# %s: %d ops, %.1f MB footprint\n",
+				app.Name, tr.Ops(), float64(tr.Footprint)/(1<<20))
+		}
+		all := append([]systemRun{baseline}, systems...)
+		sims := make([]*stats.Sim, len(all))
+		if err := forEach(all, o.Parallel, func(i int, s systemRun) error {
+			sim, err := dsm.Run(tr, s.spec, cl, s.tm, s.th)
+			if err != nil {
+				return fmt.Errorf("harness: %s on %s: %w", app.Name, s.name(), err)
+			}
+			sims[i] = sim
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		base := sims[0]
+		res.AppOrder = append(res.AppOrder, app.Name)
+		res.Runs[app.Name] = map[string]*Run{}
+		for i, s := range systems {
+			sim := sims[i+1]
+			res.Runs[app.Name][s.name()] = &Run{
+				App: app.Name, System: s.name(), Stats: sim,
+				Norm: sim.Normalized(base),
+			}
+			if o.Verbose {
+				fmt.Fprintf(o.Out, "#   %-22s %8.3f (exec %d cycles)\n",
+					s.name(), sim.Normalized(base), sim.ExecCycles)
+			}
+		}
+	}
+	return res, nil
+}
+
+// forEach runs f over items, optionally with a worker pool.
+func forEach(items []systemRun, workers int, f func(int, systemRun) error) error {
+	if workers <= 1 {
+		for i, it := range items {
+			if err := f(i, it); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	errs := make([]error, len(items))
+	for i, it := range items {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, it systemRun) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = f(i, it)
+		}(i, it)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderNormTable prints a normalized-execution-time table: one row per
+// app, one column per system, plus the mean row the paper quotes.
+func renderNormTable(w io.Writer, r *Result) {
+	width := 10
+	fmt.Fprintf(w, "%-10s", "app")
+	for _, s := range r.Systems {
+		fmt.Fprintf(w, " %*s", width+len(s)-len(s), s)
+	}
+	fmt.Fprintln(w)
+	for _, app := range r.AppOrder {
+		fmt.Fprintf(w, "%-10s", app)
+		for _, s := range r.Systems {
+			fmt.Fprintf(w, " %*.3f", len(s), r.Norm(app, s))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s", "mean")
+	for _, s := range r.Systems {
+		fmt.Fprintf(w, " %*.3f", len(s), r.MeanNorm(s))
+	}
+	fmt.Fprintln(w)
+}
+
+// SortedApps returns the result's applications sorted by name (test
+// helper).
+func (r *Result) SortedApps() []string {
+	out := append([]string(nil), r.AppOrder...)
+	sort.Strings(out)
+	return out
+}
+
+// header prints an experiment banner.
+func header(w io.Writer, title string) {
+	fmt.Fprintln(w, strings.Repeat("=", 72))
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("=", 72))
+}

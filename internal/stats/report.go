@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PerNodeReport renders a table with one row per node: misses by class,
+// cache hit counts, page operations and traffic. It is the detailed view
+// behind Summary.
+func (s *Sim) PerNodeReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %9s %9s %9s %9s %8s %8s %6s %6s %6s %10s\n",
+		"node", "cold", "coher", "cap/conf", "local", "bc-hit", "pc-hit",
+		"mig", "rep", "reloc", "traffic")
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		var local int64
+		for _, v := range n.LocalMisses {
+			local += v
+		}
+		fmt.Fprintf(&b, "%-5d %9d %9d %9d %9d %8d %8d %6d %6d %6d %10d\n",
+			i,
+			n.RemoteMisses[Cold], n.RemoteMisses[Coherence], n.RemoteMisses[CapacityConflict],
+			local, n.BlockCacheHits, n.PageCacheHits,
+			n.PageOps[Migration], n.PageOps[Replication], n.PageOps[Relocation],
+			n.TrafficBytes)
+	}
+	return b.String()
+}
+
+// WriteCSVHeader emits the column header matching WriteCSVRow.
+func WriteCSVHeader(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "experiment,app,system,normalized,exec_cycles,"+
+		"remote_misses,cold,coherence,capacity_conflict,"+
+		"migrations,replications,collapses,relocations,replacements,"+
+		"upgrades,page_faults,traffic_bytes")
+	return err
+}
+
+// WriteCSVRow emits one machine-readable result row for downstream
+// plotting.
+func (s *Sim) WriteCSVRow(w io.Writer, experiment string, normalized float64) error {
+	var upgrades, faults int64
+	for i := range s.Nodes {
+		upgrades += s.Nodes[i].Upgrades
+		faults += s.Nodes[i].PageFaults
+	}
+	_, err := fmt.Fprintf(w, "%s,%s,%s,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		experiment, s.App, s.System, normalized, s.ExecCycles,
+		s.TotalRemoteMisses(),
+		s.RemoteMissesByClass(Cold),
+		s.RemoteMissesByClass(Coherence),
+		s.RemoteMissesByClass(CapacityConflict),
+		s.PageOpsByKind(Migration),
+		s.PageOpsByKind(Replication),
+		s.PageOpsByKind(Collapse),
+		s.PageOpsByKind(Relocation),
+		s.PageOpsByKind(Replacement),
+		upgrades, faults,
+		s.TotalTrafficBytes())
+	return err
+}

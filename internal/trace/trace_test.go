@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/memory"
+)
+
+func TestRecorderCoalescesSameBlock(t *testing.T) {
+	r := NewRecorder()
+	// Eight word accesses within one block coalesce to one op.
+	for i := 0; i < 8; i++ {
+		r.Access(memory.Addr(i*8), false)
+	}
+	r.Access(memory.Addr(config.BlockBytes), true) // next block
+	ops := r.Finish()
+	if len(ops) != 2 {
+		t.Fatalf("got %d ops, want 2", len(ops))
+	}
+	if ops[0].Kind != Read || ops[0].Arg != 0 {
+		t.Errorf("op0 = %+v, want read of block 0", ops[0])
+	}
+	// The seven merged hits become gap cycles.
+	if ops[0].Gap != 0 || ops[1].Gap != 7 {
+		t.Errorf("gaps = %d,%d; want 0,7", ops[0].Gap, ops[1].Gap)
+	}
+	if ops[1].Kind != Write || ops[1].Arg != 1 {
+		t.Errorf("op1 = %+v, want write of block 1", ops[1])
+	}
+}
+
+func TestRecorderReadThenWriteBecomesWrite(t *testing.T) {
+	r := NewRecorder()
+	r.Access(0, false)
+	r.Access(8, true) // same block
+	ops := r.Finish()
+	// One exclusive access; the merged hit's cycle trails as a pad.
+	if len(ops) != 2 || ops[0].Kind != Write || ops[1].Kind != Pad || ops[1].Gap != 1 {
+		t.Fatalf("ops = %+v, want write then pad(1)", ops)
+	}
+}
+
+func TestRecorderComputeAttachesToNextOp(t *testing.T) {
+	r := NewRecorder()
+	r.Access(0, false)
+	r.Compute(100)
+	r.Access(memory.Addr(config.BlockBytes), false)
+	ops := r.Finish()
+	if len(ops) != 2 {
+		t.Fatalf("got %d ops, want 2", len(ops))
+	}
+	if ops[1].Gap != 100 {
+		t.Errorf("gap = %d, want 100", ops[1].Gap)
+	}
+}
+
+func TestRecorderTrailingComputeBecomesPad(t *testing.T) {
+	r := NewRecorder()
+	r.Access(0, true)
+	r.Compute(55)
+	ops := r.Finish()
+	if len(ops) != 2 || ops[1].Kind != Pad || ops[1].Gap != 55 {
+		t.Fatalf("ops = %+v, want write then pad(55)", ops)
+	}
+}
+
+func TestRecorderSyncFlushesRun(t *testing.T) {
+	r := NewRecorder()
+	r.Access(0, false)
+	r.Barrier(3)
+	r.Access(0, false) // same block again: new run after the barrier
+	ops := r.Finish()
+	if len(ops) != 3 {
+		t.Fatalf("got %d ops, want 3", len(ops))
+	}
+	if ops[1].Kind != Barrier || ops[1].Arg != 3 {
+		t.Errorf("op1 = %+v, want barrier 3", ops[1])
+	}
+}
+
+func TestRecorderLockUnlock(t *testing.T) {
+	r := NewRecorder()
+	r.Lock(2)
+	r.Access(0, true)
+	r.Unlock(2)
+	ops := r.Finish()
+	if len(ops) != 3 || ops[0].Kind != Lock || ops[2].Kind != Unlock {
+		t.Fatalf("ops = %+v", ops)
+	}
+}
+
+func TestValidateCatchesBarrierMismatch(t *testing.T) {
+	tr := &Trace{
+		Name: "bad",
+		CPUs: [][]Op{
+			{{Kind: Barrier, Arg: 0}},
+			{{Kind: Barrier, Arg: 1}},
+		},
+	}
+	if err := tr.Validate(); err == nil {
+		t.Error("mismatched barrier ids validated")
+	}
+	tr2 := &Trace{
+		Name: "bad2",
+		CPUs: [][]Op{
+			{{Kind: Barrier, Arg: 0}},
+			{},
+		},
+	}
+	if err := tr2.Validate(); err == nil {
+		t.Error("unbalanced barrier counts validated")
+	}
+}
+
+func TestValidateCatchesLockErrors(t *testing.T) {
+	recursive := &Trace{
+		Name: "rec",
+		CPUs: [][]Op{{{Kind: Lock, Arg: 1}, {Kind: Lock, Arg: 1}}},
+	}
+	if err := recursive.Validate(); err == nil {
+		t.Error("recursive lock validated")
+	}
+	unheld := &Trace{
+		Name: "unheld",
+		CPUs: [][]Op{{{Kind: Unlock, Arg: 1}}},
+	}
+	if err := unheld.Validate(); err == nil {
+		t.Error("unlock of unheld lock validated")
+	}
+	leaked := &Trace{
+		Name: "leak",
+		CPUs: [][]Op{{{Kind: Lock, Arg: 1}}},
+	}
+	if err := leaked.Validate(); err == nil {
+		t.Error("trace ending with a held lock validated")
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	tr := &Trace{
+		Name: "ok",
+		CPUs: [][]Op{
+			{{Kind: Lock, Arg: 0}, {Kind: Write, Arg: 5}, {Kind: Unlock, Arg: 0}, {Kind: Barrier, Arg: 0}},
+			{{Kind: Read, Arg: 9}, {Kind: Barrier, Arg: 0}},
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("well-formed trace rejected: %v", err)
+	}
+	if tr.Ops() != 6 {
+		t.Errorf("ops = %d, want 6", tr.Ops())
+	}
+}
+
+func TestRecorderOpCountNeverExceedsAccesses(t *testing.T) {
+	// Property: coalescing only shrinks; op count <= access count, and
+	// total gap equals compute plus merged hits.
+	f := func(addrs []uint16, computes []uint8) bool {
+		r := NewRecorder()
+		var totalCompute uint64
+		for i, a := range addrs {
+			r.Access(memory.Addr(a), a%3 == 0)
+			if i < len(computes) {
+				r.Compute(int(computes[i]))
+				totalCompute += uint64(computes[i])
+			}
+		}
+		ops := r.Finish()
+		if len(ops) > len(addrs)+1 { // +1 for a possible trailing pad
+			return false
+		}
+		var gaps, memOps uint64
+		for _, op := range ops {
+			gaps += uint64(op.Gap)
+			if op.Kind == Read || op.Kind == Write {
+				memOps++
+			}
+		}
+		merged := uint64(len(addrs)) - memOps
+		return gaps == totalCompute+merged
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Read; k <= Pad; k++ {
+		if s := k.String(); s == "" || s[0] == 'K' {
+			t.Errorf("kind %d has bad string %q", k, s)
+		}
+	}
+}
