@@ -1,11 +1,13 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures, plus
+// the topology-sweep extension.
 //
 // Usage:
 //
-//	experiments                      # run everything at full scale
-//	experiments -experiment fig5     # one experiment
-//	experiments -scale 4 -parallel 8 # smaller inputs, concurrent runs
-//	experiments -experiment params   # print the encoded Tables 2 and 3
+//	experiments                       # run everything at full scale
+//	experiments -experiment fig5      # one experiment
+//	experiments -experiment toposweep # Figure 5 across interconnect fabrics
+//	experiments -scale 4 -parallel 8  # smaller inputs, concurrent runs
+//	experiments -experiment params    # print the encoded Tables 2 and 3
 package main
 
 import (
@@ -48,7 +50,7 @@ func printParams() {
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "experiment: fig5, table4, fig6, fig7, fig8, params, all")
+		exp      = flag.String("experiment", "all", "experiment: fig5, table4, fig6, fig7, fig8, toposweep, params, all")
 		scale    = flag.Int("scale", 1, "problem-size divisor (1 = full size)")
 		appsFlag = flag.String("apps", "", "comma-separated app subset (default: the paper's seven)")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations per app (0 = serial)")

@@ -6,6 +6,18 @@
 // shared-memory applications, and a harness regenerating every table and
 // figure of the paper's evaluation.
 //
+// Beyond the paper, internal/interconnect models the cluster fabric as
+// an explicit graph with pluggable topologies (ideal crossbar, ring, 2D
+// mesh, fat-tree), deterministic routing, per-link byte counters and
+// optional finite link bandwidth; every protocol message the machines
+// exchange is routed over it. The default ideal crossbar reproduces the
+// paper's flat network-latency model exactly, while the harness's
+// topology-sweep experiment (cmd/experiments -experiment toposweep)
+// re-runs the Figure 5 comparison across fabrics and reports maximum
+// per-link and bisection traffic — where migration/replication's bulk
+// 4-KB page moves congest links that fine-grain 64-byte caching does
+// not.
+//
 // See README.md for the layout, cmd/experiments for the reproduction
 // driver, and bench_test.go (this directory) for per-figure benchmarks.
 package repro

@@ -201,4 +201,17 @@ func init() {
 			return GenerateSynthetic(SynWriteShared, SyntheticParams{CPUs: p.CPUs, KBPerNode: 256 / p.Scale * 4, Iters: 8})
 		},
 	})
+	register(Info{
+		Name:        "migratory",
+		Description: "Migratory-sharing microworkload (region ownership ping-pongs between nodes)",
+		Input:       "1 MB/node, 8 phases",
+		Generate: func(p Params) (*trace.Trace, error) {
+			p = p.norm()
+			kb := 1024 / p.Scale
+			if kb < 32 {
+				kb = 32
+			}
+			return GenerateSynthetic(SynMigratory, SyntheticParams{CPUs: p.CPUs, KBPerNode: kb, Iters: 8})
+		},
+	})
 }

@@ -209,10 +209,98 @@ func SlowThresholds() Thresholds {
 	return t
 }
 
+// Interconnect topology names accepted by Network.Topology.
+const (
+	TopoCrossbar = "crossbar"
+	TopoRing     = "ring"
+	TopoMesh     = "mesh"
+	TopoFatTree  = "fattree"
+)
+
+// DefaultFatTreeArity is the number of nodes per leaf switch when
+// Network.FatTreeArity is zero, shared by Validate and the fabric
+// constructor so they accept exactly the same configurations.
+const DefaultFatTreeArity = 4
+
+// Network selects and parameterizes the interconnect fabric model built
+// by internal/interconnect. The zero value is the ideal crossbar with
+// the flat Table 3 network latency and infinite link bandwidth, which
+// reproduces the paper's original single-latency network exactly.
+type Network struct {
+	// Topology names the fabric graph: TopoCrossbar (every node pair
+	// one dedicated hop), TopoRing (bidirectional ring, shortest-path
+	// routing), TopoMesh (2D mesh, dimension-order routing) or
+	// TopoFatTree (two-level tree, up-down routing). Empty selects the
+	// crossbar.
+	Topology string
+
+	// HopLatency is the per-hop wire-plus-switch latency in cycles.
+	// Zero uses Timing.NetworkLatency, so that the one-hop crossbar
+	// matches the flat model and multi-hop fabrics pay proportionally
+	// more per traversal.
+	HopLatency int64
+
+	// LinkBytesPerCycle models finite link bandwidth: a message of B
+	// bytes occupies every link on its route for ceil(B /
+	// LinkBytesPerCycle) cycles, with FIFO queuing per link. Zero means
+	// infinite bandwidth (contentionless links).
+	LinkBytesPerCycle int64
+
+	// MeshWidth is the mesh column count; zero picks the most nearly
+	// square factorization of the node count.
+	MeshWidth int
+
+	// FatTreeArity is the number of nodes per leaf switch; zero means 4
+	// (one leaf per SMP pair of the paper's 8-node cluster would be 2;
+	// 4 gives two leaves under one root).
+	FatTreeArity int
+}
+
+// Kind returns the effective topology name, resolving the empty default
+// to the crossbar.
+func (n Network) Kind() string {
+	if n.Topology == "" {
+		return TopoCrossbar
+	}
+	return n.Topology
+}
+
+// Validate reports whether the network parameters are usable for a
+// cluster of the given node count.
+func (n Network) Validate(nodes int) error {
+	switch n.Kind() {
+	case TopoCrossbar, TopoRing:
+	case TopoMesh:
+		if w := n.MeshWidth; w != 0 {
+			if w < 1 || nodes%w != 0 {
+				return fmt.Errorf("config: mesh width %d does not tile %d nodes", w, nodes)
+			}
+		}
+	case TopoFatTree:
+		a := n.FatTreeArity
+		if a == 0 {
+			a = DefaultFatTreeArity
+		}
+		if a < 1 || nodes%a != 0 {
+			return fmt.Errorf("config: fat-tree arity %d does not divide %d nodes", a, nodes)
+		}
+	default:
+		return fmt.Errorf("config: unknown topology %q", n.Topology)
+	}
+	if n.HopLatency < 0 || n.LinkBytesPerCycle < 0 {
+		return fmt.Errorf("config: negative network parameter")
+	}
+	return nil
+}
+
 // Cluster describes the simulated machine shape.
 type Cluster struct {
 	Nodes       int
 	CPUsPerNode int
+
+	// Net selects the interconnect fabric; the zero value is the ideal
+	// crossbar of the original paper.
+	Net Network
 }
 
 // DefaultCluster returns the 8×4 cluster of the paper.
@@ -231,7 +319,7 @@ func (c Cluster) Validate() error {
 	if c.Nodes > 64 {
 		return fmt.Errorf("config: node count %d exceeds the 64-node sharer-set limit", c.Nodes)
 	}
-	return nil
+	return c.Net.Validate(c.Nodes)
 }
 
 // PageOpCost returns the cost of a page allocation/replacement or R-NUMA

@@ -122,7 +122,12 @@ func TestClusterValidate(t *testing.T) {
 	if err := DefaultCluster().Validate(); err != nil {
 		t.Fatalf("default cluster invalid: %v", err)
 	}
-	bad := []Cluster{{0, 4}, {8, 0}, {-1, 4}, {65, 1}}
+	bad := []Cluster{
+		{Nodes: 0, CPUsPerNode: 4},
+		{Nodes: 8, CPUsPerNode: 0},
+		{Nodes: -1, CPUsPerNode: 4},
+		{Nodes: 65, CPUsPerNode: 1},
+	}
 	for _, c := range bad {
 		if err := c.Validate(); err == nil {
 			t.Errorf("cluster %+v validated but should not", c)
@@ -130,6 +135,44 @@ func TestClusterValidate(t *testing.T) {
 	}
 	if got := DefaultCluster().TotalCPUs(); got != 32 {
 		t.Errorf("total cpus = %d, want 32", got)
+	}
+}
+
+func TestNetworkValidate(t *testing.T) {
+	if got := (Network{}).Kind(); got != TopoCrossbar {
+		t.Errorf("zero network kind = %q, want crossbar", got)
+	}
+	good := []Network{
+		{},
+		{Topology: TopoRing, LinkBytesPerCycle: 8},
+		{Topology: TopoMesh, MeshWidth: 4},
+		{Topology: TopoFatTree, FatTreeArity: 4},
+	}
+	for _, n := range good {
+		if err := n.Validate(8); err != nil {
+			t.Errorf("network %+v rejected: %v", n, err)
+		}
+	}
+	bad := []Network{
+		{Topology: "torus"},
+		{Topology: TopoMesh, MeshWidth: 3},
+		{Topology: TopoFatTree, FatTreeArity: 5},
+		{HopLatency: -1},
+	}
+	for _, n := range bad {
+		if err := n.Validate(8); err == nil {
+			t.Errorf("network %+v validated but should not", n)
+		}
+	}
+	// The implicit default arity (4) must be validated too: what
+	// Validate blesses, the fabric constructor must accept.
+	if err := (Network{Topology: TopoFatTree}).Validate(6); err == nil {
+		t.Error("fat-tree with default arity over 6 nodes validated")
+	}
+	cl := DefaultCluster()
+	cl.Net.Topology = "torus"
+	if err := cl.Validate(); err == nil {
+		t.Error("cluster with unknown topology validated")
 	}
 }
 

@@ -185,8 +185,18 @@ func (s *Session) Trace(app string) (*trace.Trace, error) {
 	return tr, nil
 }
 
+// baselineCluster is the session's cluster with the fabric reset to the
+// ideal crossbar: like the base timing model, the normalization
+// reference always runs on the paper's ideal network, so normalized
+// times stay comparable across fabrics (the y-axis of every figure).
+func (s *Session) baselineCluster() config.Cluster {
+	cl := s.opts.Cluster
+	cl.Net = config.Network{}
+	return cl
+}
+
 // baseline returns the (cached) perfect-CC-NUMA run of an application
-// under the base timing model.
+// under the base timing model and the ideal crossbar.
 func (s *Session) baseline(app string) (*stats.Sim, error) {
 	if b, ok := s.bases[app]; ok {
 		return b, nil
@@ -195,7 +205,7 @@ func (s *Session) baseline(app string) (*stats.Sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, err := dsm.Run(tr, dsm.PerfectCCNUMA(), s.opts.Cluster, config.Default(), s.opts.Thresholds)
+	b, err := dsm.Run(tr, dsm.PerfectCCNUMA(), s.baselineCluster(), config.Default(), s.opts.Thresholds)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +262,7 @@ func (s *Session) SimulateTrace(tr *trace.Trace, sys System) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, err := dsm.Run(tr, dsm.PerfectCCNUMA(), s.opts.Cluster, config.Default(), s.opts.Thresholds)
+	base, err := dsm.Run(tr, dsm.PerfectCCNUMA(), s.baselineCluster(), config.Default(), s.opts.Thresholds)
 	if err != nil {
 		return nil, err
 	}

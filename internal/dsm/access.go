@@ -17,21 +17,67 @@ func (m *Machine) localAccess(now int64, n int) int64 {
 	return t + m.localFixed
 }
 
+// forwardExtra returns the distance-dependent latency of a forwarded
+// request leg a->b and its return b->a beyond the flat DirtyRemoteExtra
+// the timing model charges; zero on the crossbar.
+func (m *Machine) forwardExtra(a, b int) int64 {
+	return m.fabric.ExtraHopLatency(a, b) + m.fabric.ExtraHopLatency(b, a)
+}
+
+// wireLatency returns the full fabric latency of one a->b traversal
+// (one hop on the crossbar, matching the flat model's NetworkLatency).
+// It is used to back-date events on the far side of a completed round
+// trip, e.g. when the dirty owner's NI was busy.
+func (m *Machine) wireLatency(a, b int) int64 {
+	if a == b {
+		return 0
+	}
+	return m.fabric.HopLatency() + m.fabric.ExtraHopLatency(a, b)
+}
+
+// ackWaveLatency returns the latency the invalidation ack wave adds to
+// a directory round trip: the flat one-hop charge of the original
+// model, plus the farthest sharer's extra hops on multi-hop fabrics.
+func (m *Machine) ackWaveLatency(h int, mask uint64) int64 {
+	return m.fabric.HopLatency() + m.ackWaveExtra(h, mask)
+}
+
+// ackWaveExtra returns the additional latency of an invalidation ack
+// wave on multi-hop fabrics: the wave completes when the ack of the
+// farthest sharer in mask returns to home h. Zero on the crossbar,
+// where the flat one-network-latency charge already covers the wave.
+func (m *Machine) ackWaveExtra(h int, mask uint64) int64 {
+	var max int64
+	for s := 0; s < m.cl.Nodes; s++ {
+		if mask&(1<<uint(s)) == 0 {
+			continue
+		}
+		if x := m.forwardExtra(h, s); x > max {
+			max = x
+		}
+	}
+	return max
+}
+
 // roundTrip models a protocol round trip from node n to home h: local
-// bus, outbound NI, network, home controller (plus extra cycles for
-// 3-hop forwarding or invalidation gathering), network back, inbound NI,
-// and the fill delivery on the local bus. When h == n the network legs
-// vanish but the directory/controller work remains.
-func (m *Machine) roundTrip(now int64, n, h int, extra int64) int64 {
+// bus, outbound NI, fabric traversal, home controller (plus extra cycles
+// for 3-hop forwarding or invalidation gathering), fabric traversal
+// back, inbound NI, and the fill delivery on the local bus. The request
+// and response sizes are charged to the links of the two traversals.
+// When h == n the network legs vanish but the directory/controller work
+// remains, and any message bytes are accounted as node-local.
+func (m *Machine) roundTrip(now int64, n, h int, extra, reqBytes, respBytes int64) int64 {
 	t := m.bus[n].Acquire(now, m.tm.BusOccupancy)
 	if h != n {
 		t = m.ni[n].Acquire(t, m.tm.NIOccupancy)
-		t += m.tm.NetworkLatency
+		t = m.fabric.Traverse(n, h, reqBytes, t)
+	} else if reqBytes+respBytes > 0 {
+		m.fabric.Deliver(n, n, reqBytes+respBytes, t)
 	}
 	t = m.home[h].Acquire(t, m.tm.HomeOccupancy)
 	t += m.remoteFixed + extra
 	if h != n {
-		t += m.tm.NetworkLatency
+		t = m.fabric.Traverse(h, n, respBytes, t)
 		t = m.ni[n].Acquire(t, m.tm.NIOccupancy)
 	}
 	t = m.bus[n].Acquire(t, m.tm.BusOccupancy)
@@ -73,18 +119,24 @@ func (m *Machine) access(c *engine.CPU, b memory.Block, write bool) {
 	// by a migration/collapse (lazy TLB invalidation via poison bits).
 	if e.Home != n && !m.mapped[n][p] {
 		m.mapped[n][p] = true
-		lat := m.tm.SoftTrap + 2*m.tm.NetworkLatency
 		ns.PageFaults++
+		// The fault traps, consults the home's mapper, and the reply
+		// returns over the fabric.
+		end := m.fabric.Traverse(n, e.Home, msgHeaderBytes, c.Clock+m.tm.SoftTrap)
+		var copyCost int64
 		if e.Replicated && m.spec.Replication {
 			// An unmapped fault on a replicated page fetches a full
 			// read-only copy into local memory.
-			lat += m.tm.CopyCost(config.BlocksPerPage)
+			copyCost = m.tm.CopyCost(config.BlocksPerPage)
+			m.fabric.Deliver(e.Home, n, int64(config.BlocksPerPage)*msgBlockBytes, end)
 			e.Mode[n] = memory.ModeReplica
 			ns.PageOps[stats.Replication]++
 			ns.TrafficBytes += int64(config.BlocksPerPage) * msgBlockBytes
 		} else if e.Mode[n] == memory.ModeUnmapped {
 			e.Mode[n] = memory.ModeCCNUMA
 		}
+		end = m.fabric.Traverse(e.Home, n, msgHeaderBytes, end)
+		lat := end - c.Clock + copyCost
 		ns.TrafficBytes += 2 * msgHeaderBytes
 		c.Clock += lat
 		ns.PageOpCycles += lat
@@ -128,11 +180,13 @@ func (m *Machine) upgrade(c *engine.CPU, n int, b memory.Block) {
 	remoteUpgrade := false
 	if remote != 0 {
 		// Remote upgrade through the home directory; invalidations to
-		// the sharers overlap, one ack wave adds a network latency.
-		end := m.roundTrip(start, n, h, m.tm.NetworkLatency)
+		// the sharers overlap, one ack wave adds a network latency
+		// (plus the farthest sharer's extra hops on multi-hop fabrics).
+		end := m.roundTrip(start, n, h, m.ackWaveLatency(h, remote),
+			msgHeaderBytes, msgHeaderBytes)
 		ns.Upgrades++
 		ns.TrafficBytes += 2 * msgHeaderBytes
-		m.invalidateSharers(n, b, remote, end)
+		m.invalidateSharers(n, h, b, remote, end)
 		ns.StallCycles += end - c.Clock
 		c.Clock = end
 		remoteUpgrade = true
@@ -170,10 +224,11 @@ func (m *Machine) upgrade(c *engine.CPU, n int, b memory.Block) {
 	}
 }
 
-// invalidateSharers delivers invalidations for block b to every node in
-// mask (except requester n), charging their NIs at time t and accounting
-// traffic to the requester.
-func (m *Machine) invalidateSharers(n int, b memory.Block, mask uint64, t int64) {
+// invalidateSharers delivers invalidations for block b from home h to
+// every node in mask (except requester n), charging their NIs at time t
+// and accounting traffic to the requester. The invalidation and ack ride
+// the h<->s links; dirty data accompanies the ack back to home memory.
+func (m *Machine) invalidateSharers(n, h int, b memory.Block, mask uint64, t int64) {
 	ns := &m.st.Nodes[n]
 	for s := 0; s < m.cl.Nodes; s++ {
 		if mask&(1<<uint(s)) == 0 || s == n {
@@ -181,11 +236,15 @@ func (m *Machine) invalidateSharers(n int, b memory.Block, mask uint64, t int64)
 		}
 		m.ni[s].Acquire(t, m.tm.NIOccupancy)
 		present, dirty := m.invalidateOnNode(s, b, true)
+		m.fabric.Deliver(h, s, msgHeaderBytes, t)
+		ackBytes := int64(msgHeaderBytes)
 		ns.TrafficBytes += 2 * msgHeaderBytes // inval + ack
 		if present && dirty {
-			// Dirty data accompanies the ack back to home memory.
+			ackBytes += msgBlockBytes - msgHeaderBytes
 			ns.TrafficBytes += msgBlockBytes - msgHeaderBytes
 		}
+		// The ack leaves after the invalidation has crossed to s.
+		m.fabric.Deliver(s, h, ackBytes, t+m.wireLatency(h, s))
 	}
 }
 
@@ -237,9 +296,14 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 			m.pokeMigRep(c, n, p, write)
 		}
 		if owner, dirty := m.dir.IsDirtyRemote(b, n); dirty {
-			// 3-hop fetch from the remote owner.
-			end := m.roundTrip(start, n, h, m.tm.DirtyRemoteExtra)
-			m.ni[owner].Acquire(end-m.tm.NetworkLatency, m.tm.NIOccupancy)
+			// 3-hop fetch from the remote owner: the forward request
+			// travels home->owner, the data and ack return owner->home.
+			end := m.roundTrip(start, n, h, m.tm.DirtyRemoteExtra+m.forwardExtra(n, owner), 0, 0)
+			back := end - m.wireLatency(owner, n)
+			m.ni[owner].Acquire(back, m.tm.NIOccupancy)
+			// The forward leaves once the home has seen the request.
+			m.fabric.Deliver(h, owner, msgHeaderBytes, back-m.wireLatency(h, owner))
+			m.fabric.Deliver(owner, h, msgHeaderBytes+msgBlockBytes, back)
 			ns.RemoteMisses[cls]++
 			ns.TrafficBytes += 2*msgHeaderBytes + msgBlockBytes
 			m.retrieveDirty(n, owner, b, write)
@@ -256,10 +320,10 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 		}
 		// A write to a home block shared remotely: invalidation round;
 		// data comes from local memory on the same transaction.
-		end := m.roundTrip(start, n, h, m.tm.NetworkLatency)
+		end := m.roundTrip(start, n, h, m.ackWaveLatency(h, remote), 0, 0)
 		ns.Upgrades++
 		ns.LocalMisses[cls]++
-		m.invalidateSharers(n, b, remote, end)
+		m.invalidateSharers(n, h, b, remote, end)
 		m.advance(c, ns, end)
 		m.completeFill(c, n, b, write)
 		return
@@ -287,11 +351,12 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 		}
 		if st == cache.Shared {
 			// Data is local but exclusivity is not: remote upgrade.
-			end := m.roundTrip(start, n, h, m.tm.NetworkLatency)
+			end := m.roundTrip(start, n, h, m.ackWaveLatency(h, remote),
+				msgHeaderBytes, msgHeaderBytes)
 			ns.Upgrades++
 			ns.BlockCacheHits++
 			ns.TrafficBytes += 2 * msgHeaderBytes
-			m.invalidateSharers(n, b, remote, end)
+			m.invalidateSharers(n, h, b, remote, end)
 			m.advance(c, ns, end)
 			if m.spec.MigRep() {
 				m.pokeMigRep(c, n, p, true)
@@ -306,15 +371,19 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 	owner, dirty := m.dir.IsDirtyRemote(b, n)
 	if dirty && owner != h {
 		// 3-hop: the home forwards the request to the dirty owner.
-		extra += m.tm.DirtyRemoteExtra
+		extra += m.tm.DirtyRemoteExtra + m.forwardExtra(h, owner)
 	}
 	if write && remote != 0 {
-		extra += m.tm.NetworkLatency // invalidation ack wave
+		extra += m.ackWaveLatency(h, remote) // inval ack wave
 	}
-	end := m.roundTrip(start, n, h, extra)
+	end := m.roundTrip(start, n, h, extra, msgHeaderBytes, msgBlockBytes)
 	if dirty {
 		if owner != h {
-			m.ni[owner].Acquire(end-m.tm.NetworkLatency, m.tm.NIOccupancy)
+			back := end - m.wireLatency(owner, h)
+			m.ni[owner].Acquire(back, m.tm.NIOccupancy)
+			// The forward leaves once the home has seen the request.
+			m.fabric.Deliver(h, owner, msgHeaderBytes, back-m.wireLatency(h, owner))
+			m.fabric.Deliver(owner, h, msgHeaderBytes, back)
 			ns.TrafficBytes += 2 * msgHeaderBytes // forward + ack
 		}
 		m.retrieveDirty(n, owner, b, write)
@@ -323,7 +392,7 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 	ns.TrafficBytes += msgHeaderBytes + msgBlockBytes
 	m.pageMissTotal[p]++
 	if write && remote != 0 {
-		m.invalidateSharers(n, b, remote, end)
+		m.invalidateSharers(n, h, b, remote, end)
 	}
 	m.advance(c, ns, end)
 
@@ -499,11 +568,11 @@ func (m *Machine) evictFromBlockCache(n int, v cache.Victim, now int64) {
 }
 
 // writebackRemote sends a dirty block home asynchronously: the CPU does
-// not wait, but the NIs and home controller are occupied and the
-// directory is updated.
+// not wait, but the NIs, the fabric links and the home controller are
+// occupied and the directory is updated.
 func (m *Machine) writebackRemote(n, h int, b memory.Block, now int64) {
 	t := m.ni[n].Acquire(now, m.tm.NIOccupancy)
-	t += m.tm.NetworkLatency
+	t = m.fabric.Traverse(n, h, msgBlockBytes, t)
 	m.home[h].Acquire(t, m.tm.HomeOccupancy)
 	m.dir.WriteBack(b, n)
 	m.st.Nodes[n].TrafficBytes += msgBlockBytes

@@ -7,6 +7,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/directory"
 	"repro/internal/engine"
+	"repro/internal/interconnect"
 	"repro/internal/memory"
 	"repro/internal/stats"
 )
@@ -58,6 +59,12 @@ type Machine struct {
 	bus  []*engine.Resource // per node memory bus
 	ni   []*engine.Resource // per node network interface
 	home []*engine.Resource // per node home protocol controller
+
+	// fabric is the interconnect model: every protocol message is
+	// routed over it, charging per-link byte counters and (on finite-
+	// bandwidth fabrics) per-link occupancy. The default ideal crossbar
+	// reproduces the flat network-latency model exactly.
+	fabric *interconnect.Fabric
 
 	pt  *memory.PageTable
 	dir *directory.Directory
@@ -114,6 +121,11 @@ func NewMachine(spec Spec, cl config.Cluster, tm config.Timing, th config.Thresh
 	}
 	m.sched = engine.NewScheduler(cl.TotalCPUs())
 	m.barrier = engine.NewBarrier(cl.TotalCPUs(), tm.LocalMiss)
+	fab, err := interconnect.New(cl.Net, cl.Nodes, tm)
+	if err != nil {
+		return nil, err
+	}
+	m.fabric = fab
 
 	m.bus = make([]*engine.Resource, cl.Nodes)
 	m.ni = make([]*engine.Resource, cl.Nodes)
@@ -183,6 +195,10 @@ func (m *Machine) deriveFixed() {
 
 // Stats returns the machine's statistics sink.
 func (m *Machine) Stats() *stats.Sim { return m.st }
+
+// Fabric returns the interconnect model the machine routes protocol
+// messages over.
+func (m *Machine) Fabric() *interconnect.Fabric { return m.fabric }
 
 // nodeOf returns the node a CPU belongs to.
 func (m *Machine) nodeOf(cpu int) int { return cpu / m.cl.CPUsPerNode }

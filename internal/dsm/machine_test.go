@@ -81,7 +81,7 @@ func TestDeriveFixedReconstructsTable3(t *testing.T) {
 	// An uncontended remote round trip must cost exactly the Table 3
 	// remote miss latency.
 	m2 := mk(t, CCNUMA())
-	if got := m2.roundTrip(0, 1, 0, 0); got != tm.RemoteMiss {
+	if got := m2.roundTrip(0, 1, 0, 0, msgHeaderBytes, msgBlockBytes); got != tm.RemoteMiss {
 		t.Errorf("round trip = %d, want %d", got, tm.RemoteMiss)
 	}
 }

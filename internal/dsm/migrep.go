@@ -61,10 +61,11 @@ func (m *Machine) pokeMigRep(c *engine.CPU, n int, p memory.Page, write bool) {
 	}
 }
 
-// cleanPage writes every dirty cached block of page p back to home,
-// downgrading the owners to Shared. It returns the number of blocks
-// flushed, which sizes the gather cost.
-func (m *Machine) cleanPage(p memory.Page) (flushed int) {
+// cleanPage writes every dirty cached block of page p back to home at
+// time now, downgrading the owners to Shared. It returns the number of
+// blocks flushed, which sizes the gather cost.
+func (m *Machine) cleanPage(p memory.Page, now int64) (flushed int) {
+	h := m.pt.Entry(p).Home
 	b0 := p.FirstBlock()
 	for i := 0; i < config.BlocksPerPage; i++ {
 		b := b0 + memory.Block(i)
@@ -76,6 +77,7 @@ func (m *Machine) cleanPage(p memory.Page) (flushed int) {
 		if m.downgradeOnNode(owner, b) {
 			flushed++
 			m.st.Nodes[owner].TrafficBytes += msgBlockBytes
+			m.fabric.Deliver(owner, h, msgBlockBytes, now)
 		}
 		m.dir.WriteBack(b, owner)
 		m.dir.AddSharer(b, owner)
@@ -83,10 +85,11 @@ func (m *Machine) cleanPage(p memory.Page) (flushed int) {
 	return flushed
 }
 
-// gatherPage invalidates every cached copy of page p cluster-wide,
-// flushing dirty blocks home, and removes any S-COMA frames holding the
-// page. It returns the number of block copies flushed.
-func (m *Machine) gatherPage(p memory.Page) (flushed int) {
+// gatherPage invalidates every cached copy of page p cluster-wide at
+// time now, flushing dirty blocks home, and removes any S-COMA frames
+// holding the page. It returns the number of block copies flushed.
+func (m *Machine) gatherPage(p memory.Page, now int64) (flushed int) {
+	h := m.pt.Entry(p).Home
 	b0 := p.FirstBlock()
 	for i := 0; i < config.BlocksPerPage; i++ {
 		b := b0 + memory.Block(i)
@@ -101,6 +104,7 @@ func (m *Machine) gatherPage(p memory.Page) (flushed int) {
 			}
 			if dirty {
 				m.st.Nodes[s].TrafficBytes += msgBlockBytes
+				m.fabric.Deliver(s, h, msgBlockBytes, now)
 			}
 		}
 	}
@@ -121,12 +125,13 @@ func (m *Machine) gatherPage(p memory.Page) (flushed int) {
 func (m *Machine) replicate(c *engine.CPU, n int, p memory.Page) {
 	e := m.pt.Entry(p)
 	ns := &m.st.Nodes[n]
-	flushed := m.cleanPage(p)
+	flushed := m.cleanPage(p, c.Clock)
 	cost := m.tm.GatherCost(flushed) + m.tm.CopyCost(config.BlocksPerPage)
 	e.Replicated = true
 	e.Mode[n] = memory.ModeReplica
 	ns.PageOps[stats.Replication]++
 	ns.TrafficBytes += int64(config.BlocksPerPage) * msgBlockBytes
+	m.fabric.Deliver(e.Home, n, int64(config.BlocksPerPage)*msgBlockBytes, c.Clock)
 	ns.PageOpCycles += cost
 	c.Clock += cost
 	m.pageBusy[p] = c.Clock
@@ -142,6 +147,7 @@ func (m *Machine) grantReplica(c *engine.CPU, n int, p memory.Page) {
 	e.Mode[n] = memory.ModeReplica
 	ns.PageOps[stats.Replication]++
 	ns.TrafficBytes += int64(config.BlocksPerPage) * msgBlockBytes
+	m.fabric.Deliver(e.Home, n, int64(config.BlocksPerPage)*msgBlockBytes, c.Clock)
 	ns.PageOpCycles += cost
 	c.Clock += cost
 }
@@ -161,7 +167,7 @@ func (m *Machine) collapse(c *engine.CPU, n int, p memory.Page) {
 	if !e.Replicated {
 		return // another writer collapsed it while we waited
 	}
-	flushed := m.gatherPage(p)
+	flushed := m.gatherPage(p, c.Clock)
 	replicas := 0
 	for s := 0; s < m.cl.Nodes; s++ {
 		if e.Mode[s] == memory.ModeReplica {
@@ -171,6 +177,9 @@ func (m *Machine) collapse(c *engine.CPU, n int, p memory.Page) {
 			if s == n {
 				m.mapped[s][p] = true // the writer remaps immediately
 			}
+			// Replica invalidation and ack between home and holder.
+			m.fabric.Deliver(e.Home, s, msgHeaderBytes, c.Clock)
+			m.fabric.Deliver(s, e.Home, msgHeaderBytes, c.Clock)
 		}
 	}
 	e.Replicated = false
@@ -195,7 +204,7 @@ func (m *Machine) migrate(c *engine.CPU, n int, p memory.Page) {
 	e := m.pt.Entry(p)
 	ns := &m.st.Nodes[n]
 	oldHome := e.Home
-	flushed := m.gatherPage(p)
+	flushed := m.gatherPage(p, c.Clock)
 	m.pt.PoisonAll(p)
 	for s := 0; s < m.cl.Nodes; s++ {
 		m.mapped[s][p] = false
@@ -207,6 +216,7 @@ func (m *Machine) migrate(c *engine.CPU, n int, p memory.Page) {
 	cost := m.tm.GatherCost(flushed) + m.tm.CopyCost(config.BlocksPerPage)
 	ns.PageOps[stats.Migration]++
 	ns.TrafficBytes += int64(config.BlocksPerPage) * msgBlockBytes
+	m.fabric.Deliver(oldHome, n, int64(config.BlocksPerPage)*msgBlockBytes, c.Clock)
 	ns.PageOpCycles += cost
 	c.Clock += cost
 	m.pageBusy[p] = c.Clock

@@ -167,7 +167,7 @@ func TestGatherFlushesDirtyBlocks(t *testing.T) {
 	if owner, dirty := m.dir.IsDirtyRemote(0, 0); !dirty || owner != 1 {
 		t.Fatalf("setup failed: owner=%d dirty=%v", owner, dirty)
 	}
-	flushed := m.gatherPage(0)
+	flushed := m.gatherPage(0, 0)
 	if flushed == 0 {
 		t.Error("gather flushed nothing")
 	}

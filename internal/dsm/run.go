@@ -105,6 +105,7 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 		}
 	}
 	m.st.ExecCycles = sched.MaxClock()
+	m.st.Net = m.fabric.Snapshot()
 	return nil
 }
 
@@ -133,8 +134,13 @@ func (m *Machine) chargeLock(c *engine.CPU, id uint64, requested int64) {
 	if !seen || last == n {
 		lat = m.tm.LocalMiss
 	} else {
-		lat = m.tm.RemoteMiss
+		// The lock word moves from its last holder's node; on multi-hop
+		// fabrics the transfer pays the extra hops like any other
+		// remote transaction.
+		lat = m.tm.RemoteMiss + m.forwardExtra(n, last)
 		ns.TrafficBytes += msgHeaderBytes + msgBlockBytes
+		m.fabric.Deliver(n, last, msgHeaderBytes, c.Clock)
+		m.fabric.Deliver(last, n, msgBlockBytes, c.Clock+m.wireLatency(n, last))
 	}
 	c.Clock += lat
 	ns.SyncCycles += lat

@@ -6,7 +6,11 @@
 //
 // A single Machine executes a dependence-preserving application trace
 // under a configurable timing model, applying the per-system policy
-// described by a Spec.
+// described by a Spec. Every protocol message — fills, invalidations,
+// writebacks, page moves and replica grants — is routed over the
+// internal/interconnect fabric selected by the cluster's Net
+// configuration, charging per-link traffic counters and, on multi-hop
+// or bandwidth-limited fabrics, hop latency and link queuing.
 package dsm
 
 import "repro/internal/config"

@@ -133,7 +133,7 @@ func Fig8(o Options) (*Result, error) {
 
 // Experiments lists the runnable experiment names.
 func Experiments() []string {
-	return []string{"fig5", "table4", "fig6", "fig7", "fig8"}
+	return []string{"fig5", "table4", "fig6", "fig7", "fig8", "toposweep"}
 }
 
 // RunByName dispatches one experiment.
@@ -149,6 +149,8 @@ func RunByName(name string, o Options) (*Result, error) {
 		return Fig7(o)
 	case "fig8":
 		return Fig8(o)
+	case "toposweep":
+		return TopoSweep(o)
 	default:
 		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", name, Experiments())
 	}

@@ -5,6 +5,12 @@
 // experiment runs every application on the relevant systems, normalizes
 // execution time against perfect CC-NUMA, and renders the same rows the
 // paper reports.
+//
+// The topology-sweep experiment ("toposweep") goes beyond the paper:
+// it re-runs the Figure 5 comparison across interconnect fabrics
+// (crossbar, ring, 2D mesh, fat-tree) and reports each run's maximum
+// per-link load and bisection traffic from the per-link counters of
+// internal/interconnect.
 package harness
 
 import (
@@ -123,6 +129,9 @@ type systemRun struct {
 	th   config.Thresholds
 	// label overrides spec.Name in reports (e.g. "MigRep-Slow").
 	label string
+	// net selects the interconnect fabric; the zero value is the ideal
+	// crossbar every pre-topology experiment uses.
+	net config.Network
 }
 
 func (s systemRun) name() string {
@@ -162,7 +171,9 @@ func runExperiment(name string, systems []systemRun, o Options) (*Result, error)
 		all := append([]systemRun{baseline}, systems...)
 		sims := make([]*stats.Sim, len(all))
 		if err := forEach(all, o.Parallel, func(i int, s systemRun) error {
-			sim, err := dsm.Run(tr, s.spec, cl, s.tm, s.th)
+			scl := cl
+			scl.Net = s.net
+			sim, err := dsm.Run(tr, s.spec, scl, s.tm, s.th)
 			if err != nil {
 				return fmt.Errorf("harness: %s on %s: %w", app.Name, s.name(), err)
 			}

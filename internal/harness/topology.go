@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/config"
+	"repro/internal/dsm"
+	"repro/internal/stats"
+)
+
+// topoSweepFabrics lists the fabrics the sweep compares, in presentation
+// order. The crossbar entry is the paper's original ideal network and
+// anchors the comparison.
+func topoSweepFabrics() []config.Network {
+	return []config.Network{
+		{Topology: config.TopoCrossbar},
+		{Topology: config.TopoRing},
+		{Topology: config.TopoMesh},
+		{Topology: config.TopoFatTree},
+	}
+}
+
+// topoSweepSystems lists the systems the sweep compares: the paper's
+// base CC-NUMA, the migration/replication kernel, and R-NUMA as the
+// fine-grain representative.
+func topoSweepSystems() []dsm.Spec {
+	return []dsm.Spec{dsm.CCNUMA(), dsm.MigRep(), dsm.RNUMA()}
+}
+
+// topoLabel names one (system, fabric) combination in reports.
+func topoLabel(sys, topo string) string { return sys + "@" + topo }
+
+// TopoSweep re-runs the Figure 5 comparison across interconnect
+// fabrics: every system of topoSweepSystems on every fabric of
+// topoSweepFabrics, normalized to perfect CC-NUMA on the ideal
+// crossbar. Beyond execution time, it reports where the traffic lands:
+// the maximum per-link load and the bisection traffic of every run,
+// which is where migration/replication's bulk 4-KB page moves separate
+// from fine-grain 64-byte caching.
+func TopoSweep(o Options) (*Result, error) {
+	tm, th := config.Default(), config.DefaultThresholds()
+	var systems []systemRun
+	for _, net := range topoSweepFabrics() {
+		for _, spec := range topoSweepSystems() {
+			systems = append(systems, systemRun{
+				spec: spec, tm: tm, th: th,
+				label: topoLabel(spec.Name, net.Kind()),
+				net:   net,
+			})
+		}
+	}
+	r, err := runExperiment("toposweep", systems, o)
+	if err != nil {
+		return nil, err
+	}
+	header(o.Out, "Topology sweep: Figure 5 across interconnect fabrics")
+	for _, net := range topoSweepFabrics() {
+		fmt.Fprintf(o.Out, "-- %s (normalized execution time vs perfect CC-NUMA on crossbar)\n", net.Kind())
+		view := &Result{Name: r.Name, AppOrder: r.AppOrder, Runs: r.Runs}
+		for _, spec := range topoSweepSystems() {
+			view.Systems = append(view.Systems, topoLabel(spec.Name, net.Kind()))
+		}
+		renderNormTable(o.Out, view)
+		fmt.Fprintln(o.Out)
+	}
+	renderLinkLoadTable(o.Out, r)
+	return r, nil
+}
+
+// renderLinkLoadTable prints, per application and fabric, the maximum
+// per-link load and the bisection traffic of every system, in KB.
+func renderLinkLoadTable(w io.Writer, r *Result) {
+	systems := topoSweepSystems()
+	fmt.Fprintln(w, "maximum per-link load / bisection traffic (KB)")
+	fmt.Fprintf(w, "%-10s %-9s", "app", "topology")
+	for _, s := range systems {
+		fmt.Fprintf(w, " %9s", s.Name)
+	}
+	fmt.Fprintf(w, " |")
+	for _, s := range systems {
+		fmt.Fprintf(w, " %9s", s.Name)
+	}
+	fmt.Fprintln(w)
+	for _, app := range r.AppOrder {
+		for _, net := range topoSweepFabrics() {
+			fmt.Fprintf(w, "%-10s %-9s", app, net.Kind())
+			for _, s := range systems {
+				fmt.Fprintf(w, " %9.0f", float64(netOf(r, app, s.Name, net).MaxLink().Bytes)/1024)
+			}
+			fmt.Fprintf(w, " |")
+			for _, s := range systems {
+				fmt.Fprintf(w, " %9.0f", float64(netOf(r, app, s.Name, net).BisectionBytes)/1024)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// netOf resolves the interconnect stats of one sweep run.
+func netOf(r *Result, app, sys string, net config.Network) *stats.NetStats {
+	run := r.Runs[app][topoLabel(sys, net.Kind())]
+	if run == nil || run.Stats.Net == nil {
+		return &stats.NetStats{}
+	}
+	return run.Stats.Net
+}

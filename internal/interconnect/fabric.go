@@ -1,0 +1,188 @@
+package interconnect
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// Fabric is a Topology instantiated with timing: per-hop latency, an
+// engine.Resource per link modeling finite bandwidth with FIFO queuing,
+// and per-link byte/message counters. All methods are deterministic.
+type Fabric struct {
+	topo          Topology
+	hopLatency    int64
+	bytesPerCycle int64 // 0 = infinite bandwidth (no link occupancy)
+
+	res       []*engine.Resource
+	linkBytes []int64
+	linkMsgs  []int64
+
+	// pairBytes[src][dst] accumulates the bytes injected for each
+	// ordered node pair, the ground truth for conservation checks
+	// (sum over links == sum over pairs of bytes x route hops).
+	pairBytes [][]int64
+
+	localBytes int64
+	localMsgs  int64
+}
+
+// New builds the fabric described by a config.Network for the given node
+// count. The zero-value Network yields the ideal crossbar with hop
+// latency tm.NetworkLatency and infinite bandwidth — the paper's
+// original flat network model.
+func New(net config.Network, nodes int, tm config.Timing) (*Fabric, error) {
+	if err := net.Validate(nodes); err != nil {
+		return nil, err
+	}
+	var topo Topology
+	var err error
+	switch net.Kind() {
+	case config.TopoCrossbar:
+		topo = NewCrossbar(nodes)
+	case config.TopoRing:
+		topo = NewRing(nodes)
+	case config.TopoMesh:
+		topo, err = NewMesh(nodes, net.MeshWidth)
+	case config.TopoFatTree:
+		topo, err = NewFatTree(nodes, net.FatTreeArity)
+	default:
+		err = fmt.Errorf("interconnect: unknown topology %q", net.Topology)
+	}
+	if err != nil {
+		return nil, err
+	}
+	hop := net.HopLatency
+	if hop == 0 {
+		hop = tm.NetworkLatency
+	}
+	return NewFabric(topo, hop, net.LinkBytesPerCycle), nil
+}
+
+// NewFabric wraps a topology with timing parameters directly.
+func NewFabric(topo Topology, hopLatency, bytesPerCycle int64) *Fabric {
+	links := topo.Links()
+	f := &Fabric{
+		topo:          topo,
+		hopLatency:    hopLatency,
+		bytesPerCycle: bytesPerCycle,
+		res:           make([]*engine.Resource, len(links)),
+		linkBytes:     make([]int64, len(links)),
+		linkMsgs:      make([]int64, len(links)),
+		pairBytes:     make([][]int64, topo.Nodes()),
+	}
+	for i, l := range links {
+		f.res[i] = engine.NewResource(l.Name)
+	}
+	for i := range f.pairBytes {
+		f.pairBytes[i] = make([]int64, topo.Nodes())
+	}
+	return f
+}
+
+// Topology returns the underlying fabric graph.
+func (f *Fabric) Topology() Topology { return f.topo }
+
+// HopLatency returns the per-hop latency in cycles.
+func (f *Fabric) HopLatency() int64 { return f.hopLatency }
+
+// ExtraHopLatency returns the latency a src->dst traversal costs beyond
+// the single hop the flat network model already charges: zero on the
+// crossbar (and for node-local messages), (hops-1) x hop latency on
+// multi-hop fabrics. It lets protocol legs whose base cost is a flat
+// timing constant (3-hop forwards, invalidation ack waves) scale with
+// distance without disturbing the crossbar-compatible baseline.
+func (f *Fabric) ExtraHopLatency(src, dst int) int64 {
+	hops := len(f.topo.Route(src, dst))
+	if hops <= 1 {
+		return 0
+	}
+	return int64(hops-1) * f.hopLatency
+}
+
+// occupancy is how long a message of the given size holds each link.
+func (f *Fabric) occupancy(bytes int64) int64 {
+	if f.bytesPerCycle <= 0 {
+		return 0
+	}
+	return (bytes + f.bytesPerCycle - 1) / f.bytesPerCycle
+}
+
+// Traverse routes one message of the given size from src to dst starting
+// at time now: every link on the route is charged the message's bytes
+// and, under finite bandwidth, occupied in sequence with FIFO queuing.
+// It returns the arrival time at dst. A message to the sending node
+// itself crosses no link and arrives immediately; its bytes are
+// accounted as local.
+func (f *Fabric) Traverse(src, dst int, bytes int64, now int64) int64 {
+	route := f.topo.Route(src, dst)
+	if len(route) == 0 {
+		f.localBytes += bytes
+		f.localMsgs++
+		return now
+	}
+	f.pairBytes[src][dst] += bytes
+	occ := f.occupancy(bytes)
+	t := now
+	for _, id := range route {
+		f.linkBytes[id] += bytes
+		f.linkMsgs[id]++
+		if occ > 0 {
+			t = f.res[id].Acquire(t, occ)
+		}
+		t += f.hopLatency
+	}
+	return t
+}
+
+// Deliver is Traverse for messages nothing waits on (asynchronous
+// writebacks, invalidation fan-out, bulk page copies overlapped with
+// their fixed cost): links are charged and occupied, the arrival time is
+// discarded.
+func (f *Fabric) Deliver(src, dst int, bytes int64, now int64) {
+	f.Traverse(src, dst, bytes, now)
+}
+
+// LinkBytes returns the byte counter of one link.
+func (f *Fabric) LinkBytes(id int) int64 { return f.linkBytes[id] }
+
+// TotalLinkBytes sums the byte counters over all links.
+func (f *Fabric) TotalLinkBytes() int64 {
+	var t int64
+	for _, b := range f.linkBytes {
+		t += b
+	}
+	return t
+}
+
+// LocalBytes returns the bytes of messages whose source and destination
+// node coincided.
+func (f *Fabric) LocalBytes() int64 { return f.localBytes }
+
+// PairBytes returns the injected bytes for one ordered node pair.
+func (f *Fabric) PairBytes(src, dst int) int64 { return f.pairBytes[src][dst] }
+
+// Snapshot renders the fabric counters as a stats.NetStats view.
+func (f *Fabric) Snapshot() *stats.NetStats {
+	n := f.topo.Nodes()
+	out := &stats.NetStats{
+		Topology:   f.topo.Name(),
+		Links:      make([]stats.LinkStat, len(f.linkBytes)),
+		LocalBytes: f.localBytes,
+		LocalMsgs:  f.localMsgs,
+	}
+	for i, l := range f.topo.Links() {
+		out.Links[i] = stats.LinkStat{Name: l.Name, Bytes: f.linkBytes[i], Msgs: f.linkMsgs[i]}
+	}
+	half := n / 2
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if (s < half) != (d < half) {
+				out.BisectionBytes += f.pairBytes[s][d]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func testNet() *NetStats {
+	return &NetStats{
+		Topology: "ring",
+		Links: []LinkStat{
+			{Name: "ring:1->2", Bytes: 500, Msgs: 5},
+			{Name: "ring:0->1", Bytes: 500, Msgs: 7},
+			{Name: "ring:2->3", Bytes: 900, Msgs: 3},
+			{Name: "ring:3->0", Bytes: 100, Msgs: 1},
+		},
+		LocalBytes:     64,
+		BisectionBytes: 600,
+	}
+}
+
+func TestHotLinksDeterministicOrder(t *testing.T) {
+	n := testNet()
+	hot := n.HotLinks(0)
+	want := []string{"ring:2->3", "ring:0->1", "ring:1->2", "ring:3->0"}
+	for i, name := range want {
+		if hot[i].Name != name {
+			t.Fatalf("hot[%d] = %s, want %s (equal bytes must tie-break by name)", i, hot[i].Name, name)
+		}
+	}
+	if got := n.HotLinks(2); len(got) != 2 || got[0].Name != "ring:2->3" {
+		t.Errorf("HotLinks(2) = %v", got)
+	}
+	if max := n.MaxLink(); max.Name != "ring:2->3" || max.Bytes != 900 {
+		t.Errorf("MaxLink = %+v", max)
+	}
+}
+
+func TestMaxLinkTieBreaksByName(t *testing.T) {
+	n := &NetStats{Links: []LinkStat{
+		{Name: "b", Bytes: 10}, {Name: "a", Bytes: 10}, {Name: "c", Bytes: 10},
+	}}
+	if max := n.MaxLink(); max.Name != "a" {
+		t.Errorf("MaxLink tie = %q, want a", max.Name)
+	}
+}
+
+func TestNetReportStable(t *testing.T) {
+	n := testNet()
+	r1, r2 := n.NetReport(3), n.NetReport(3)
+	if r1 != r2 {
+		t.Error("NetReport not reproducible")
+	}
+	for _, want := range []string{"ring fabric", "ring:2->3", "across bisection", "share"} {
+		if !strings.Contains(r1, want) {
+			t.Errorf("report missing %q:\n%s", want, r1)
+		}
+	}
+	if got := n.TotalLinkBytes(); got != 2000 {
+		t.Errorf("total link bytes = %d, want 2000", got)
+	}
+}

@@ -132,6 +132,11 @@ type Sim struct {
 	ExecCycles int64
 
 	Nodes []Node
+
+	// Net is the interconnect view of the run: per-link traffic, hot
+	// links and bisection bytes. Populated by the dsm machine at the end
+	// of execution.
+	Net *NetStats
 }
 
 // New returns a Sim with the given number of node slots.
