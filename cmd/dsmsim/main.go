@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dsmsim -app lu -system rnuma [-scale 4] [-slow] [-netscale 4] [-verbose]
+//	dsmsim -app lu -system rnuma [-scale 4] [-slow] [-netscale 4] [-audit=false]
 //
 // Systems: perfect, ccnuma, rep, mig, migrep, rnuma, rnuma-inf,
 // rnuma-half, rnuma-half-migrep, scoma.
@@ -54,6 +54,7 @@ func main() {
 		scale    = flag.Int("scale", 1, "problem-size divisor (1 = full size)")
 		slow     = flag.Bool("slow", false, "use slow page-operation support")
 		netScale = flag.Int64("netscale", 1, "network latency multiplier")
+		audit    = flag.Bool("audit", true, "run with event-time and traffic-conservation audits (internal/audit)")
 		baseline = flag.Bool("normalize", false, "also run perfect CC-NUMA and print normalized time")
 		perNode  = flag.Bool("pernode", false, "print the per-node statistics table")
 		list     = flag.Bool("list", false, "list applications and exit")
@@ -95,7 +96,7 @@ func main() {
 	fmt.Printf("trace: %d ops, %.2f MB shared footprint, %d barriers, %d locks\n",
 		tr.Ops(), float64(tr.Footprint)/(1<<20), tr.Barriers, tr.Locks)
 
-	sim, err := dsm.Run(tr, spec, cl, tm, th)
+	sim, err := dsm.RunWithOptions(tr, spec, cl, tm, th, dsm.RunOptions{Audit: *audit})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -106,7 +107,7 @@ func main() {
 	}
 
 	if *baseline {
-		base, err := dsm.Run(tr, dsm.PerfectCCNUMA(), cl, config.Default(), th)
+		base, err := dsm.RunWithOptions(tr, dsm.PerfectCCNUMA(), cl, config.Default(), th, dsm.RunOptions{Audit: *audit})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

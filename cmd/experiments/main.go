@@ -55,6 +55,7 @@ func main() {
 		appsFlag = flag.String("apps", "", "comma-separated app subset (default: the paper's seven)")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations per app (0 = serial)")
 		verbose  = flag.Bool("verbose", false, "print per-run progress")
+		audit    = flag.Bool("audit", true, "run every simulation with event-time and traffic-conservation audits (internal/audit)")
 		csvPath  = flag.String("csv", "", "also append machine-readable rows to this file")
 	)
 	flag.Parse()
@@ -68,6 +69,7 @@ func main() {
 		Scale:    *scale,
 		Parallel: *parallel,
 		Verbose:  *verbose,
+		Audit:    *audit,
 		Out:      os.Stdout,
 	}
 	if *appsFlag != "" {

@@ -18,6 +18,18 @@
 // 4-KB page moves congest links that fine-grain 64-byte caching does
 // not.
 //
+// The simulator audits itself. Every page operation and asynchronous
+// writeback carries an explicit event time, and audit mode — on by
+// default in cmd/experiments and cmd/dsmsim (-audit=false disables),
+// always on in the harness tests — enforces event-time discipline while
+// a machine runs (no fabric injection in the simulated past, no
+// page-busy regression, in-order dispatch) and runs the internal/audit
+// conservation checks over every finished run: summed per-node traffic
+// counters must equal the fabric's per-pair injected bytes, per-link
+// bytes must equal the hop-weighted pair totals, and the directory must
+// agree with the caches. A protocol path that skews the paper's traffic
+// tables therefore fails loudly instead of silently.
+//
 // See README.md for the layout, cmd/experiments for the reproduction
 // driver, and bench_test.go (this directory) for per-figure benchmarks.
 package repro

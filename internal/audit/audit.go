@@ -1,0 +1,122 @@
+// Package audit provides the end-of-run conservation and consistency
+// checks of the simulator's self-auditing mode.
+//
+// A simulated DSM run maintains the same quantities in several places:
+// every node counts the bytes it puts on the network (stats.Node
+// .TrafficBytes), the fabric counts the bytes injected per ordered node
+// pair and the bytes carried per link (interconnect.Fabric), and the
+// directory tracks which caches hold which blocks. These views are
+// redundant by construction, which makes them a free cross-check: if a
+// protocol path charges a node counter but skips the fabric (or
+// vice versa), injects a message in the simulated past, or leaves the
+// directory disagreeing with the caches, the books stop balancing.
+//
+// Check runs over a finished machine and verifies:
+//
+//   - event-time discipline: no fabric injection before the event being
+//     processed, no page-busy horizon regression, no out-of-order
+//     scheduler dispatch (collected online while the machine runs in
+//     audit mode — see dsm.Machine.EnableAudit);
+//   - traffic conservation: the summed per-node TrafficBytes equal the
+//     fabric's per-pair injected bytes plus node-local messages, and
+//     the per-link byte totals equal the per-pair bytes weighted by
+//     each pair's route hop count;
+//   - snapshot consistency: the stats.NetStats view published with the
+//     run agrees with the fabric it was taken from;
+//   - counter sanity: no negative traffic, stall, sync or page-op
+//     counters;
+//   - directory/cache agreement, via the machine's Verify.
+//
+// The harness runs these checks on every simulation when Options.Audit
+// is set (the -audit flag of cmd/experiments and cmd/dsmsim), and the
+// test suite keeps audit mode on for every harness experiment, so a
+// regression in any accounting path fails loudly instead of skewing
+// the paper's traffic tables silently.
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/interconnect"
+	"repro/internal/stats"
+)
+
+// Machine is the view of a finished simulation the checks need; it is
+// satisfied by *dsm.Machine.
+type Machine interface {
+	// Stats returns the run's statistics.
+	Stats() *stats.Sim
+	// Fabric returns the interconnect the run routed messages over.
+	Fabric() *interconnect.Fabric
+	// Verify checks directory invariants and directory/cache agreement.
+	Verify() error
+	// AuditViolations returns event-time violations the machine
+	// recorded while executing in audit mode.
+	AuditViolations() []string
+}
+
+// Check runs every end-of-run audit over m and returns an error
+// describing all violations, or nil if the books balance.
+func Check(m Machine) error {
+	var errs []string
+	s := m.Stats()
+	f := m.Fabric()
+
+	// Event-time discipline, collected online during the run.
+	errs = append(errs, f.Violations()...)
+	errs = append(errs, m.AuditViolations()...)
+
+	// Traffic conservation against the fabric's ground truth.
+	topo := f.Topology()
+	var pair, hopWeighted int64
+	for src := 0; src < topo.Nodes(); src++ {
+		for dst := 0; dst < topo.Nodes(); dst++ {
+			b := f.PairBytes(src, dst)
+			pair += b
+			hopWeighted += b * int64(len(topo.Route(src, dst)))
+		}
+	}
+	if injected, counted := pair+f.LocalBytes(), s.TotalTrafficBytes(); injected != counted {
+		errs = append(errs, fmt.Sprintf(
+			"traffic conservation: fabric injected %d bytes (pairs %d + local %d) but node counters total %d",
+			injected, pair, f.LocalBytes(), counted))
+	}
+	if got := f.TotalLinkBytes(); got != hopWeighted {
+		errs = append(errs, fmt.Sprintf(
+			"link conservation: links carried %d bytes, hop-weighted pair injection is %d",
+			got, hopWeighted))
+	}
+
+	// The published snapshot must agree with the fabric it mirrors.
+	if s.Net != nil {
+		if got := s.Net.TotalLinkBytes(); got != f.TotalLinkBytes() {
+			errs = append(errs, fmt.Sprintf(
+				"snapshot: link bytes %d != fabric %d", got, f.TotalLinkBytes()))
+		}
+		if got := s.Net.InjectedBytes(); got != pair+f.LocalBytes() {
+			errs = append(errs, fmt.Sprintf(
+				"snapshot: injected bytes %d != fabric %d", got, pair+f.LocalBytes()))
+		}
+	}
+
+	// Counter sanity: accumulators only ever add nonnegative amounts.
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		if n.TrafficBytes < 0 || n.StallCycles < 0 || n.SyncCycles < 0 || n.PageOpCycles < 0 {
+			errs = append(errs, fmt.Sprintf(
+				"node %d: negative counter (traffic %d, stall %d, sync %d, pageop %d)",
+				i, n.TrafficBytes, n.StallCycles, n.SyncCycles, n.PageOpCycles))
+		}
+	}
+
+	// Directory/cache agreement.
+	if err := m.Verify(); err != nil {
+		errs = append(errs, err.Error())
+	}
+
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("audit: %d violation(s):\n  %s", len(errs), strings.Join(errs, "\n  "))
+}

@@ -566,14 +566,3 @@ func (m *Machine) evictFromBlockCache(n int, v cache.Victim, now int64) {
 	}
 	m.flags[n][b] &^= flagDepartInval // capacity departure
 }
-
-// writebackRemote sends a dirty block home asynchronously: the CPU does
-// not wait, but the NIs, the fabric links and the home controller are
-// occupied and the directory is updated.
-func (m *Machine) writebackRemote(n, h int, b memory.Block, now int64) {
-	t := m.ni[n].Acquire(now, m.tm.NIOccupancy)
-	t = m.fabric.Traverse(n, h, msgBlockBytes, t)
-	m.home[h].Acquire(t, m.tm.HomeOccupancy)
-	m.dir.WriteBack(b, n)
-	m.st.Nodes[n].TrafficBytes += msgBlockBytes
-}

@@ -91,6 +91,15 @@ type Machine struct {
 
 	phaseDone bool
 
+	// Audit mode (see EnableAudit): the machine checks event-time
+	// discipline as it runs — scheduler dispatch order, the page-busy
+	// horizon, and (through the fabric's own audit mode) message
+	// injection times — and accumulates violations for the end-of-run
+	// internal/audit checks instead of panicking mid-simulation.
+	auditing     bool
+	lastDispatch int64
+	violations   stats.ViolationLog
+
 	st *stats.Sim
 }
 
@@ -195,6 +204,35 @@ func (m *Machine) deriveFixed() {
 
 // Stats returns the machine's statistics sink.
 func (m *Machine) Stats() *stats.Sim { return m.st }
+
+// EnableAudit switches the machine (and its fabric) into audit mode:
+// event-time discipline is checked on every dispatched event, fabric
+// injection and page-busy update, and violations accumulate for
+// AuditViolations / internal/audit.Check. Auditing changes no simulated
+// behaviour: an audited run produces byte-identical statistics.
+func (m *Machine) EnableAudit() {
+	m.auditing = true
+	m.fabric.EnableAudit()
+}
+
+// AuditViolations returns the event-time violations the machine itself
+// detected (scheduler dispatch order, page-busy regressions); fabric
+// injection violations are reported by Fabric().Violations().
+func (m *Machine) AuditViolations() []string { return m.violations.All() }
+
+// setPageBusy extends page p's busy horizon to t. Page operations only
+// ever push the horizon forward — every accessor waits it out before
+// starting a new operation — so a regression means an operation
+// completed in the simulated past and is flagged under audit.
+func (m *Machine) setPageBusy(p memory.Page, t int64) {
+	if t < m.pageBusy[p] {
+		if m.auditing {
+			m.violations.Addf("dsm: pageBusy[%d] regressed from %d to %d", p, m.pageBusy[p], t)
+		}
+		return
+	}
+	m.pageBusy[p] = t
+}
 
 // Fabric returns the interconnect model the machine routes protocol
 // messages over.

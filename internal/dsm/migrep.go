@@ -18,25 +18,25 @@ func (m *Machine) pokeMigRep(c *engine.CPU, n int, p memory.Page, write bool) {
 	e := m.pt.Entry(p)
 	h := e.Home
 	cnt := m.migCounter(p)
+	cnt.sinceReset++
+	// The reference that lands exactly on the reset interval still
+	// reaches the threshold checks below: the counters clear only after
+	// it has been considered. (Resetting first swallowed every
+	// interval's final reference, so a page whose counter crossed the
+	// threshold on that reference never triggered an operation.)
+	if int(cnt.sinceReset) >= m.th.MigRepResetInterval {
+		defer cnt.reset()
+	}
 	if n == h {
 		// The home's own misses weigh against migrating the page away
 		// but trigger nothing themselves.
 		cnt.homeUse++
-		cnt.sinceReset++
-		if int(cnt.sinceReset) >= m.th.MigRepResetInterval {
-			cnt.reset()
-		}
 		return
 	}
 	if write {
 		cnt.write[n]++
 	} else {
 		cnt.read[n]++
-	}
-	cnt.sinceReset++
-	if int(cnt.sinceReset) >= m.th.MigRepResetInterval {
-		cnt.reset()
-		return
 	}
 	thr := int32(m.th.MigRepThreshold)
 
@@ -54,17 +54,19 @@ func (m *Machine) pokeMigRep(c *engine.CPU, n int, p memory.Page, write bool) {
 	}
 
 	// Migration: the requester misses on the page at least a threshold
-	// more than the home (remote requests plus the home's own use).
+	// more than the home uses it. Remote references accrue to the
+	// read/write banks, the home's own references only ever to homeUse,
+	// so homeUse is the whole home-side weight of the comparison.
 	if m.spec.Migration && !e.Replicated &&
-		cnt.total(n) >= cnt.total(h)+cnt.homeUse+thr {
+		cnt.total(n) >= cnt.homeUse+thr {
 		m.migrate(c, n, p)
 	}
 }
 
 // cleanPage writes every dirty cached block of page p back to home at
-// time now, downgrading the owners to Shared. It returns the number of
-// blocks flushed, which sizes the gather cost.
-func (m *Machine) cleanPage(p memory.Page, now int64) (flushed int) {
+// the operation's current event time, downgrading the owners to Shared.
+// It returns the number of blocks flushed, which sizes the gather cost.
+func (m *Machine) cleanPage(op *pageOp, p memory.Page) (flushed int) {
 	h := m.pt.Entry(p).Home
 	b0 := p.FirstBlock()
 	for i := 0; i < config.BlocksPerPage; i++ {
@@ -76,8 +78,7 @@ func (m *Machine) cleanPage(p memory.Page, now int64) (flushed int) {
 		owner := int(de.Owner)
 		if m.downgradeOnNode(owner, b) {
 			flushed++
-			m.st.Nodes[owner].TrafficBytes += msgBlockBytes
-			m.fabric.Deliver(owner, h, msgBlockBytes, now)
+			op.xfer(owner, h, owner, msgBlockBytes)
 		}
 		m.dir.WriteBack(b, owner)
 		m.dir.AddSharer(b, owner)
@@ -86,9 +87,10 @@ func (m *Machine) cleanPage(p memory.Page, now int64) (flushed int) {
 }
 
 // gatherPage invalidates every cached copy of page p cluster-wide at
-// time now, flushing dirty blocks home, and removes any S-COMA frames
-// holding the page. It returns the number of block copies flushed.
-func (m *Machine) gatherPage(p memory.Page, now int64) (flushed int) {
+// the operation's current event time, flushing dirty blocks home, and
+// removes any S-COMA frames holding the page. It returns the number of
+// block copies flushed.
+func (m *Machine) gatherPage(op *pageOp, p memory.Page) (flushed int) {
 	h := m.pt.Entry(p).Home
 	b0 := p.FirstBlock()
 	for i := 0; i < config.BlocksPerPage; i++ {
@@ -103,8 +105,7 @@ func (m *Machine) gatherPage(p memory.Page, now int64) (flushed int) {
 				flushed++
 			}
 			if dirty {
-				m.st.Nodes[s].TrafficBytes += msgBlockBytes
-				m.fabric.Deliver(s, h, msgBlockBytes, now)
+				op.xfer(s, h, s, msgBlockBytes)
 			}
 		}
 	}
@@ -120,36 +121,36 @@ func (m *Machine) gatherPage(p memory.Page, now int64) (flushed int) {
 
 // replicate creates the first read-only replica of page p at node n: the
 // home gathers dirty blocks, marks the page replicated, and copies it
-// into n's local memory. Poison bits cover the gathered blocks for lazy
-// TLB invalidation.
+// into n's local memory once the gather has completed. Poison bits cover
+// the gathered blocks for lazy TLB invalidation.
 func (m *Machine) replicate(c *engine.CPU, n int, p memory.Page) {
 	e := m.pt.Entry(p)
-	ns := &m.st.Nodes[n]
-	flushed := m.cleanPage(p, c.Clock)
-	cost := m.tm.GatherCost(flushed) + m.tm.CopyCost(config.BlocksPerPage)
+	op := m.beginPageOp(c, n)
+	flushed := m.cleanPage(op, p)
+	op.charge(m.tm.GatherCost(flushed))
+	op.xfer(e.Home, n, n, int64(config.BlocksPerPage)*msgBlockBytes)
+	op.charge(m.tm.CopyCost(config.BlocksPerPage))
 	e.Replicated = true
 	e.Mode[n] = memory.ModeReplica
-	ns.PageOps[stats.Replication]++
-	ns.TrafficBytes += int64(config.BlocksPerPage) * msgBlockBytes
-	m.fabric.Deliver(e.Home, n, int64(config.BlocksPerPage)*msgBlockBytes, c.Clock)
-	ns.PageOpCycles += cost
-	c.Clock += cost
-	m.pageBusy[p] = c.Clock
-	m.home[e.Home].Acquire(c.Clock-cost, cost/4)
+	op.count(stats.Replication)
+	m.home[e.Home].Acquire(op.start, op.elapsed()/4)
+	op.finishBusy(p)
 }
 
 // grantReplica copies an already-replicated page into node n's local
-// memory (a mapped node crossed the read threshold).
+// memory (a mapped node crossed the read threshold). Like replicate,
+// the copy keeps the page busy — concurrent accessors wait it out — and
+// occupies the home controller that serves it.
 func (m *Machine) grantReplica(c *engine.CPU, n int, p memory.Page) {
 	e := m.pt.Entry(p)
-	ns := &m.st.Nodes[n]
-	cost := m.tm.SoftTrap + m.tm.CopyCost(config.BlocksPerPage)
+	op := m.beginPageOp(c, n)
+	op.charge(m.tm.SoftTrap)
+	op.xfer(e.Home, n, n, int64(config.BlocksPerPage)*msgBlockBytes)
+	op.charge(m.tm.CopyCost(config.BlocksPerPage))
 	e.Mode[n] = memory.ModeReplica
-	ns.PageOps[stats.Replication]++
-	ns.TrafficBytes += int64(config.BlocksPerPage) * msgBlockBytes
-	m.fabric.Deliver(e.Home, n, int64(config.BlocksPerPage)*msgBlockBytes, c.Clock)
-	ns.PageOpCycles += cost
-	c.Clock += cost
+	op.count(stats.Replication)
+	m.home[e.Home].Acquire(op.start, op.elapsed()/4)
+	op.finishBusy(p)
 }
 
 // collapse handles a write protection fault on a replicated page: the
@@ -167,7 +168,10 @@ func (m *Machine) collapse(c *engine.CPU, n int, p memory.Page) {
 	if !e.Replicated {
 		return // another writer collapsed it while we waited
 	}
-	flushed := m.gatherPage(p, c.Clock)
+	op := m.beginPageOp(c, n)
+	op.charge(m.tm.SoftTrap) // the writer traps before the home acts
+	flushed := m.gatherPage(op, p)
+	op.charge(m.tm.GatherCost(flushed))
 	replicas := 0
 	for s := 0; s < m.cl.Nodes; s++ {
 		if e.Mode[s] == memory.ModeReplica {
@@ -177,9 +181,10 @@ func (m *Machine) collapse(c *engine.CPU, n int, p memory.Page) {
 			if s == n {
 				m.mapped[s][p] = true // the writer remaps immediately
 			}
-			// Replica invalidation and ack between home and holder.
-			m.fabric.Deliver(e.Home, s, msgHeaderBytes, c.Clock)
-			m.fabric.Deliver(s, e.Home, msgHeaderBytes, c.Clock)
+			// Replica invalidation and ack between home and holder,
+			// charged to the writer that forced the collapse.
+			op.xfer(e.Home, s, n, msgHeaderBytes)
+			op.xfer(s, e.Home, n, msgHeaderBytes)
 		}
 	}
 	e.Replicated = false
@@ -188,23 +193,20 @@ func (m *Machine) collapse(c *engine.CPU, n int, p memory.Page) {
 	cnt := m.migCounter(p)
 	cnt.reset()
 	cnt.noRepl = true
-	cost := m.tm.SoftTrap + m.tm.GatherCost(flushed) +
-		int64(replicas)*m.tm.TLBShootdown
-	ns.PageOps[stats.Collapse]++
-	ns.TrafficBytes += int64(replicas) * 2 * msgHeaderBytes
-	ns.PageOpCycles += cost
-	c.Clock += cost
-	m.pageBusy[p] = c.Clock
+	op.charge(int64(replicas) * m.tm.TLBShootdown)
+	op.count(stats.Collapse)
+	op.finishBusy(p)
 }
 
 // migrate moves page p's home to node n: all cached copies are gathered
 // with directory poisoning, every node's mapping is shot down lazily,
-// and the page data moves to the new home.
+// and the page data moves to the new home once the gather completes.
 func (m *Machine) migrate(c *engine.CPU, n int, p memory.Page) {
 	e := m.pt.Entry(p)
-	ns := &m.st.Nodes[n]
 	oldHome := e.Home
-	flushed := m.gatherPage(p, c.Clock)
+	op := m.beginPageOp(c, n)
+	flushed := m.gatherPage(op, p)
+	op.charge(m.tm.GatherCost(flushed))
 	m.pt.PoisonAll(p)
 	for s := 0; s < m.cl.Nodes; s++ {
 		m.mapped[s][p] = false
@@ -213,13 +215,10 @@ func (m *Machine) migrate(c *engine.CPU, n int, p memory.Page) {
 	m.mapped[n][p] = true
 	m.pt.ClearPoison(p)
 
-	cost := m.tm.GatherCost(flushed) + m.tm.CopyCost(config.BlocksPerPage)
-	ns.PageOps[stats.Migration]++
-	ns.TrafficBytes += int64(config.BlocksPerPage) * msgBlockBytes
-	m.fabric.Deliver(oldHome, n, int64(config.BlocksPerPage)*msgBlockBytes, c.Clock)
-	ns.PageOpCycles += cost
-	c.Clock += cost
-	m.pageBusy[p] = c.Clock
-	m.home[oldHome].Acquire(c.Clock-cost, cost/4)
+	op.xfer(oldHome, n, n, int64(config.BlocksPerPage)*msgBlockBytes)
+	op.charge(m.tm.CopyCost(config.BlocksPerPage))
+	op.count(stats.Migration)
+	m.home[oldHome].Acquire(op.start, op.elapsed()/4)
+	op.finishBusy(p)
 	m.migCounter(p).reset()
 }

@@ -167,7 +167,7 @@ func TestGatherFlushesDirtyBlocks(t *testing.T) {
 	if owner, dirty := m.dir.IsDirtyRemote(0, 0); !dirty || owner != 1 {
 		t.Fatalf("setup failed: owner=%d dirty=%v", owner, dirty)
 	}
-	flushed := m.gatherPage(0, 0)
+	flushed := m.gatherPage(m.beginPageOp(cpu, 0), 0)
 	if flushed == 0 {
 		t.Error("gather flushed nothing")
 	}
@@ -196,5 +196,98 @@ func TestSlowThresholdsReduceOps(t *testing.T) {
 	if slow.PageOpsByKind(stats.Migration) > fast.PageOpsByKind(stats.Migration) {
 		t.Errorf("raised threshold increased migrations: %d > %d",
 			slow.PageOpsByKind(stats.Migration), fast.PageOpsByKind(stats.Migration))
+	}
+}
+
+// TestBoundaryReferenceReachesThresholds pins the ISSUE 2 fix to
+// pokeMigRep's reset boundary: the reference that lands exactly on the
+// reset interval must still reach the threshold checks before the
+// counters clear. Previously the reset swallowed it, so a page whose
+// counter crossed the threshold on its interval's final reference never
+// triggered the operation.
+func TestBoundaryReferenceReachesThresholds(t *testing.T) {
+	m := mk(t, Rep())
+	m.pt.FirstTouch(0, 0)
+	cnt := m.migCounter(0)
+	cnt.sinceReset = int32(m.th.MigRepResetInterval) - 1
+	cnt.read[1] = int32(m.th.MigRepThreshold) - 1
+	c4 := m.sched.CPUByID(4)
+	m.pokeMigRep(c4, 1, 0, false)
+	if got := m.st.Nodes[1].PageOps[stats.Replication]; got != 1 {
+		t.Errorf("interval's final reference fired %d replications, want 1", got)
+	}
+	// The counters still clear once the boundary reference is handled.
+	if cnt.sinceReset != 0 || cnt.read[1] != 0 {
+		t.Errorf("counters not reset after boundary: sinceReset=%d read=%d",
+			cnt.sinceReset, cnt.read[1])
+	}
+}
+
+// TestMigrationWeighsHomeUseOnly pins the migration condition after the
+// dead cnt.total(h) term was dropped: home references accrue only to
+// homeUse (never to the per-node read/write banks), and migration fires
+// exactly when the requester's misses reach homeUse + threshold.
+func TestMigrationWeighsHomeUseOnly(t *testing.T) {
+	m := mk(t, Mig())
+	m.pt.FirstTouch(0, 0)
+	cnt := m.migCounter(0)
+	c0 := m.sched.CPUByID(0)
+	c4 := m.sched.CPUByID(4)
+	for i := 0; i < 5; i++ {
+		m.pokeMigRep(c0, 0, 0, i%2 == 0)
+	}
+	// The dead term: home references never land in the read/write banks,
+	// so total(home) is identically zero and homeUse carries the whole
+	// home-side weight.
+	if got := cnt.total(0); got != 0 {
+		t.Fatalf("home references accrued to total(home) = %d, want 0", got)
+	}
+	if cnt.homeUse != 5 {
+		t.Fatalf("homeUse = %d, want 5", cnt.homeUse)
+	}
+	thr := int32(m.th.MigRepThreshold)
+	cnt.read[1] = thr + 3
+	m.pokeMigRep(c4, 1, 0, false) // total(1) = thr+4 < homeUse+thr = thr+5
+	if got := m.st.Nodes[1].PageOps[stats.Migration]; got != 0 {
+		t.Fatalf("migration fired below homeUse+threshold: %d ops", got)
+	}
+	m.pokeMigRep(c4, 1, 0, false) // total(1) = thr+5: fires
+	if got := m.st.Nodes[1].PageOps[stats.Migration]; got != 1 {
+		t.Errorf("migration did not fire at homeUse+threshold: %d ops", got)
+	}
+}
+
+// TestGrantReplicaSerializesAndChargesHome pins the ISSUE 2 alignment of
+// grantReplica with replicate: the grant keeps the page busy until the
+// copy completes (SoftTrap 3000 + CopyCost(64) 21760 = 24760 cycles
+// under the default timing), so concurrent accessors wait it out, and
+// the home controller is occupied for a quarter of the operation.
+// Previously neither happened: the page was never marked busy and the
+// home stayed free during the copy.
+func TestGrantReplicaSerializesAndChargesHome(t *testing.T) {
+	m := mk(t, Rep())
+	m.pt.FirstTouch(0, 0)
+	c4 := m.sched.CPUByID(4)
+	c8 := m.sched.CPUByID(8)
+	m.EnableAudit()
+	m.replicate(c4, 1, 0)
+	homeBusy := m.home[0].Busy()
+	// A real accessor waits out pageBusy in access before any page
+	// operation starts; model that for the direct call.
+	c8.Clock = m.pageBusy[0]
+	start := c8.Clock
+	m.grantReplica(c8, 2, 0)
+	wantCost := config.Default().SoftTrap + config.Default().CopyCost(config.BlocksPerPage)
+	if got := c8.Clock - start; got != wantCost {
+		t.Errorf("grant cost = %d cycles, want %d", got, wantCost)
+	}
+	if got := m.pageBusy[0]; got != c8.Clock {
+		t.Errorf("pageBusy = %d after grant, want %d (the grant's end)", got, c8.Clock)
+	}
+	if got := m.home[0].Busy(); got != homeBusy+wantCost/4 {
+		t.Errorf("home busy = %d, want %d (one quarter of the grant)", got, homeBusy+wantCost/4)
+	}
+	if v := m.AuditViolations(); len(v) != 0 {
+		t.Errorf("audit violations: %v", v)
 	}
 }

@@ -1,0 +1,81 @@
+package dsm
+
+import (
+	"repro/internal/engine"
+	"repro/internal/memory"
+	"repro/internal/stats"
+)
+
+// pageOp is one in-flight page operation: an R-NUMA relocation, a
+// migration, a replication or replica grant, a collapse, or a
+// page-cache replacement riding on one of those. It carries the
+// operation's explicit event time and accumulates its cost, so that
+// every protocol message the operation emits enters the fabric at the
+// simulated instant it actually happens — never in the simulated past
+// — and so that cost, traffic and page-busy accounting cannot drift
+// apart. It replaces the ad-hoc int64 time threading the page paths
+// used (and, in flushFrame's case, forgot).
+type pageOp struct {
+	m     *Machine
+	c     *engine.CPU
+	node  int   // node the operation is accounted to
+	start int64 // event time the operation began (c.Clock at begin)
+	now   int64 // current event time within the operation
+}
+
+// beginPageOp opens a page operation for CPU c on node, anchored at the
+// CPU's current clock. The caller must have waited out any page-busy
+// horizon first (access does this for every trace op).
+func (m *Machine) beginPageOp(c *engine.CPU, node int) *pageOp {
+	return &pageOp{m: m, c: c, node: node, start: c.Clock, now: c.Clock}
+}
+
+// charge advances the operation's event time by cost cycles of page
+// operation work.
+func (op *pageOp) charge(cost int64) { op.now += cost }
+
+// elapsed returns the cycles the operation has consumed so far.
+func (op *pageOp) elapsed() int64 { return op.now - op.start }
+
+// xfer injects one message of the operation from src to dst at the
+// operation's current event time, charging its bytes to pay's traffic
+// counter (page copies are charged to the requester that waits on them,
+// gathered flushes to the cacher that emits them).
+func (op *pageOp) xfer(src, dst, pay int, bytes int64) {
+	op.m.st.Nodes[pay].TrafficBytes += bytes
+	op.m.fabric.Deliver(src, dst, bytes, op.now)
+}
+
+// count records one page operation of the given kind against the
+// operation's node.
+func (op *pageOp) count(kind stats.PageOp) {
+	op.m.st.Nodes[op.node].PageOps[kind]++
+}
+
+// finish commits the operation: its elapsed cycles are accounted as
+// page-operation time and the initiating CPU's clock advances to the
+// operation's end.
+func (op *pageOp) finish() {
+	op.m.st.Nodes[op.node].PageOpCycles += op.elapsed()
+	op.c.Clock = op.now
+}
+
+// finishBusy is finish for operations that serialize subsequent
+// accessors: the page stays busy until the operation's end.
+func (op *pageOp) finishBusy(p memory.Page) {
+	op.finish()
+	op.m.setPageBusy(p, op.now)
+}
+
+// writebackRemote sends a dirty block home asynchronously at the given
+// event time: the CPU does not wait, but the NIs, the fabric links and
+// the home controller are occupied and the directory is updated. now
+// must be the emitting transaction's current event time — block
+// evictions pass the CPU clock, page operations their pageOp's time.
+func (m *Machine) writebackRemote(n, h int, b memory.Block, now int64) {
+	t := m.ni[n].Acquire(now, m.tm.NIOccupancy)
+	t = m.fabric.Traverse(n, h, msgBlockBytes, t)
+	m.home[h].Acquire(t, m.tm.HomeOccupancy)
+	m.dir.WriteBack(b, n)
+	m.st.Nodes[n].TrafficBytes += msgBlockBytes
+}

@@ -23,22 +23,17 @@ func (m *Machine) maybeRelocate(c *engine.CPU, n int, p memory.Page) {
 	if e.Home == n || e.Mode[n] == memory.ModeReplica {
 		return
 	}
-	ns := &m.st.Nodes[n]
 	pc := m.pc[n]
-	var cost int64
+	op := m.beginPageOp(c, n)
 
 	// Make room: deallocate the least-recently-used page frame.
 	if pc.Full() {
-		victim := pc.EvictLRU()
-		flushed := m.flushFrame(n, victim)
-		cost += m.tm.PageOpCost(flushed)
-		m.pt.Entry(victim.Page).Mode[n] = memory.ModeCCNUMA
-		m.ref[n][victim.Page] = 0
-		ns.PageOps[stats.Replacement]++
+		m.evictLRUFrame(op, n)
 	}
 
 	// Flush our CC-NUMA cached copies of the page; they will be
-	// refetched into the frame on demand.
+	// refetched into the frame on demand. Dirty copies travel home at
+	// the operation's current event time (after any victim flush).
 	flushed := 0
 	b0 := p.FirstBlock()
 	for i := 0; i < config.BlocksPerPage; i++ {
@@ -47,20 +42,19 @@ func (m *Machine) maybeRelocate(c *engine.CPU, n int, p memory.Page) {
 		if present {
 			flushed++
 			if dirty {
-				m.writebackRemote(n, e.Home, b, c.Clock)
+				m.writebackRemote(n, e.Home, b, op.now)
 			} else {
 				m.dir.DropSharer(b, n)
 			}
 		}
 	}
-	cost += m.tm.PageOpCost(flushed)
+	op.charge(m.tm.PageOpCost(flushed))
 
 	pc.Allocate(p)
 	e.Mode[n] = memory.ModeSCOMA
 	m.ref[n][p] = 0
-	ns.PageOps[stats.Relocation]++
-	ns.PageOpCycles += cost
-	c.Clock += cost
+	op.count(stats.Relocation)
+	op.finish()
 }
 
 // mapSCOMA statically places a just-faulted remote page into node n's
@@ -73,28 +67,38 @@ func (m *Machine) mapSCOMA(c *engine.CPU, n int, p memory.Page) {
 	if pc.Entry(p) != nil {
 		return
 	}
-	ns := &m.st.Nodes[n]
-	var cost int64
+	op := m.beginPageOp(c, n)
 	if pc.Full() {
-		victim := pc.EvictLRU()
-		flushed := m.flushFrame(n, victim)
-		cost += m.tm.PageOpCost(flushed)
-		m.pt.Entry(victim.Page).Mode[n] = memory.ModeCCNUMA
-		m.mapped[n][victim.Page] = false // remapping faults on next touch
-		ns.PageOps[stats.Replacement]++
+		m.evictLRUFrame(op, n)
 	}
 	pc.Allocate(p)
 	m.pt.Entry(p).Mode[n] = memory.ModeSCOMA
-	ns.PageOps[stats.Relocation]++
-	ns.PageOpCycles += cost
-	c.Clock += cost
+	op.count(stats.Relocation)
+	op.finish()
+}
+
+// evictLRUFrame deallocates node n's least-recently-used page frame:
+// the frame's surviving blocks are flushed home at the operation's
+// current event time, the victim page drops back to CC-NUMA mode, its
+// refetch counter restarts, and the node's mapping is cleared so the
+// next touch re-faults. Both eviction paths (reactive relocation and
+// static S-COMA placement) share this helper, so they cannot diverge on
+// the mapping state again.
+func (m *Machine) evictLRUFrame(op *pageOp, n int) {
+	victim := m.pc[n].EvictLRU()
+	flushed := m.flushFrame(op, n, victim)
+	op.charge(m.tm.PageOpCost(flushed))
+	m.pt.Entry(victim.Page).Mode[n] = memory.ModeCCNUMA
+	m.mapped[n][victim.Page] = false // the remapped page faults on next touch
+	m.ref[n][victim.Page] = 0
+	op.count(stats.Replacement)
 }
 
 // flushFrame writes a deallocated S-COMA frame's dirty blocks back to
-// the home node and purges the node's L1 copies of the page (the local
-// physical mapping is going away). It returns the number of valid blocks
-// flushed.
-func (m *Machine) flushFrame(n int, fr *cache.PageEntry) (flushed int) {
+// the home node at the operation's current event time and purges the
+// node's L1 copies of the page (the local physical mapping is going
+// away). It returns the number of valid blocks flushed.
+func (m *Machine) flushFrame(op *pageOp, n int, fr *cache.PageEntry) (flushed int) {
 	p := fr.Page
 	e := m.pt.Entry(p)
 	b0 := p.FirstBlock()
@@ -117,7 +121,7 @@ func (m *Machine) flushFrame(n int, fr *cache.PageEntry) (flushed int) {
 			}
 		}
 		if dirty {
-			m.writebackRemote(n, e.Home, b, 0)
+			m.writebackRemote(n, e.Home, b, op.now)
 		} else {
 			m.dir.DropSharer(b, n)
 		}
@@ -152,3 +156,7 @@ func (m *Machine) PageMode(node int, p memory.Page) memory.PageMode {
 
 // HomeOf exposes a page's current home node, for tests.
 func (m *Machine) HomeOf(p memory.Page) int { return m.pt.Entry(p).Home }
+
+// Mapped exposes whether node n currently holds a valid mapping of page
+// p, for tests.
+func (m *Machine) Mapped(node int, p memory.Page) bool { return m.mapped[node][p] }

@@ -153,7 +153,7 @@ func TestFrameFlushWritesDirtyHome(t *testing.T) {
 	if fr == nil || fr.Dirty == 0 {
 		t.Fatalf("frame not dirty after write: %+v", fr)
 	}
-	flushed := m.flushFrame(1, fr)
+	flushed := m.flushFrame(m.beginPageOp(c4, 1), 1, fr)
 	if flushed == 0 {
 		t.Error("flush found no valid blocks")
 	}
@@ -181,5 +181,110 @@ func TestHalfCacheReplacesMoreThanFull(t *testing.T) {
 	if half.PageOpsByKind(stats.Replacement) < full.PageOpsByKind(stats.Replacement) {
 		t.Errorf("half cache replaced less (%d) than full cache (%d)",
 			half.PageOpsByKind(stats.Replacement), full.PageOpsByKind(stats.Replacement))
+	}
+}
+
+// TestFrameEvictionFlushesAtEventTime pins the ISSUE 2 flushFrame fix:
+// a dirty S-COMA frame evicted at a late simulated time must charge the
+// NI, the fabric and the home controller at the current clock, not at
+// time 0 (which used to inject the writeback traffic into the simulated
+// past, invisible to any time-windowed view and free of queuing). It
+// also pins the companion eviction fix: the victim's mapping clears, so
+// the node re-faults on its next touch exactly like the static S-COMA
+// eviction path.
+func TestFrameEvictionFlushesAtEventTime(t *testing.T) {
+	spec := RNUMA()
+	spec.PageCacheBytes = config.PageBytes // one frame: next relocation evicts
+	m := mk(t, spec)
+	c4 := m.sched.CPUByID(4)
+	m.pt.FirstTouch(0, 0)
+	m.pt.FirstTouch(1, 0)
+	m.mapped[0][0], m.mapped[0][1] = true, true
+	m.mapped[1][0], m.mapped[1][1] = true, true
+	m.pt.Entry(0).Mode[1] = memory.ModeCCNUMA
+	m.pt.Entry(1).Mode[1] = memory.ModeCCNUMA
+	m.EnableAudit()
+
+	// Relocate page 0 into node 1's single frame and dirty it.
+	m.ref[1][0] = int32(m.th.RNUMAThreshold)
+	m.maybeRelocate(c4, 1, 0)
+	if m.PageMode(1, 0) != memory.ModeSCOMA {
+		t.Fatalf("setup: page 0 mode = %v, want scoma", m.PageMode(1, 0))
+	}
+	m.access(c4, 0, true)
+	if fr := m.pc[1].Entry(0); fr == nil || fr.Dirty == 0 {
+		t.Fatalf("setup: frame not dirty")
+	}
+
+	// Jump far forward and relocate page 1: the eviction's dirty flush
+	// must be injected at the current event time, not at 0.
+	const late = int64(1) << 20
+	c4.Clock = late
+	m.fabric.SetAuditFloor(late)
+	m.ref[1][1] = int32(m.th.RNUMAThreshold)
+	m.maybeRelocate(c4, 1, 1)
+
+	if got := m.fabric.Violations(); len(got) != 0 {
+		t.Errorf("flush injected in the simulated past: %v", got)
+	}
+	if got := m.AuditViolations(); len(got) != 0 {
+		t.Errorf("machine audit violations: %v", got)
+	}
+	// The NI carried the writeback at the eviction's event time.
+	if got := m.ni[1].Peek(); got <= late {
+		t.Errorf("NI free at %d, want occupied past the eviction time %d", got, late)
+	}
+	// The remapped victim faults on its next touch.
+	if m.Mapped(1, 0) {
+		t.Error("victim page still mapped after frame eviction")
+	}
+	if m.PageMode(1, 0) != memory.ModeCCNUMA {
+		t.Errorf("victim mode = %v, want ccnuma", m.PageMode(1, 0))
+	}
+	faults := m.st.Nodes[1].PageFaults
+	m.access(c4, 0, false)
+	if got := m.st.Nodes[1].PageFaults; got != faults+1 {
+		t.Errorf("page faults = %d after touching evicted page, want %d", got, faults+1)
+	}
+	if err := m.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStaticAndReactiveEvictionAgree checks the two eviction paths
+// (reactive relocation and static S-COMA placement) share one helper:
+// both clear the victim's mapping, downgrade it to CC-NUMA mode, and
+// count a replacement.
+func TestStaticAndReactiveEvictionAgree(t *testing.T) {
+	for _, static := range []bool{false, true} {
+		spec := RNUMA()
+		spec.PageCacheBytes = config.PageBytes
+		spec.AlwaysSCOMA = static
+		m := mk(t, spec)
+		c4 := m.sched.CPUByID(4)
+		m.pt.FirstTouch(0, 0)
+		m.pt.FirstTouch(1, 0)
+		m.mapped[0][0], m.mapped[0][1] = true, true
+		m.mapped[1][0], m.mapped[1][1] = true, true
+		m.pt.Entry(0).Mode[1] = memory.ModeCCNUMA
+		m.pt.Entry(1).Mode[1] = memory.ModeCCNUMA
+		if static {
+			m.mapSCOMA(c4, 1, 0)
+			m.mapSCOMA(c4, 1, 1) // evicts page 0
+		} else {
+			m.ref[1][0] = int32(m.th.RNUMAThreshold)
+			m.maybeRelocate(c4, 1, 0)
+			m.ref[1][1] = int32(m.th.RNUMAThreshold)
+			m.maybeRelocate(c4, 1, 1) // evicts page 0
+		}
+		if m.Mapped(1, 0) {
+			t.Errorf("static=%v: victim still mapped after eviction", static)
+		}
+		if m.PageMode(1, 0) != memory.ModeCCNUMA {
+			t.Errorf("static=%v: victim mode = %v, want ccnuma", static, m.PageMode(1, 0))
+		}
+		if got := m.st.Nodes[1].PageOps[stats.Replacement]; got != 1 {
+			t.Errorf("static=%v: replacements = %d, want 1", static, got)
+		}
 	}
 }

@@ -3,6 +3,7 @@ package dsm
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/config"
 	"repro/internal/engine"
 	"repro/internal/memory"
@@ -10,15 +11,38 @@ import (
 	"repro/internal/trace"
 )
 
+// RunOptions configures a Run beyond the machine parameters.
+type RunOptions struct {
+	// Audit enables the machine's self-auditing mode: event-time
+	// discipline is enforced while the trace executes and the
+	// internal/audit conservation checks run over the final state; any
+	// violation fails the run with a descriptive error. Auditing does
+	// not change simulated behaviour.
+	Audit bool
+}
+
 // Run executes a trace on a freshly built machine and returns the
 // collected statistics.
 func Run(tr *trace.Trace, spec Spec, cl config.Cluster, tm config.Timing, th config.Thresholds) (*stats.Sim, error) {
+	return RunWithOptions(tr, spec, cl, tm, th, RunOptions{})
+}
+
+// RunWithOptions is Run with explicit RunOptions.
+func RunWithOptions(tr *trace.Trace, spec Spec, cl config.Cluster, tm config.Timing, th config.Thresholds, o RunOptions) (*stats.Sim, error) {
 	m, err := NewMachine(spec, cl, tm, th, tr.Footprint, tr.Name)
 	if err != nil {
 		return nil, err
 	}
+	if o.Audit {
+		m.EnableAudit()
+	}
 	if err := m.Execute(tr); err != nil {
 		return nil, err
+	}
+	if o.Audit {
+		if err := audit.Check(m); err != nil {
+			return nil, fmt.Errorf("dsm: %s on %s: %w", tr.Name, spec.Name, err)
+		}
 	}
 	return m.Stats(), nil
 }
@@ -43,7 +67,20 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 		}
 		op := ops[pos[c.ID]]
 		pos[c.ID]++
+		if m.auditing {
+			// The scheduler dispatches events in nondecreasing time
+			// order; the dispatched clock (plus any trace gap) is the
+			// floor below which no message may enter the fabric.
+			if c.Clock < m.lastDispatch {
+				m.violations.Addf("dsm: cpu %d dispatched at %d after event time %d",
+					c.ID, c.Clock, m.lastDispatch)
+			}
+			m.lastDispatch = c.Clock
+		}
 		c.Clock += int64(op.Gap)
+		if m.auditing {
+			m.fabric.SetAuditFloor(c.Clock)
+		}
 
 		switch op.Kind {
 		case trace.Read:
@@ -80,9 +117,17 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 			l := m.lock(op.Arg)
 			m.lockOwn[op.Arg] = m.nodeOf(c.ID)
 			if next := l.Release(c.Clock); next != nil {
+				// Charge the new holder before requeueing it: the
+				// scheduler heap is keyed by clock, so the clock must
+				// reach its final value before Unblock pushes the CPU.
+				// (Charging after the push silently corrupted the heap
+				// and dispatched CPUs out of simulated-time order.)
 				granted := c.Clock
-				sched.Unblock(next, granted)
+				if granted > next.Clock {
+					next.Clock = granted
+				}
 				m.chargeLock(next, op.Arg, granted)
+				sched.Unblock(next, next.Clock)
 			}
 			sched.Yield(c)
 		case trace.Phase:

@@ -178,3 +178,54 @@ func TestLockStatsExposed(t *testing.T) {
 		t.Errorf("lock 7 acquisitions = %d, want 1", got)
 	}
 }
+
+// TestContendedLocksKeepDispatchOrder is the regression test for the
+// lock-handoff bug the audit subsystem caught: Execute used to charge
+// the new lock holder's acquisition cost after Unblock had already
+// pushed it into the scheduler heap, mutating the heap key in place.
+// The corrupted heap then dispatched CPUs out of simulated-time order
+// (837+ violations over the paper sweep). Lock-heavy contention across
+// nodes, run under audit, must dispatch monotonically and pass the
+// conservation checks — the harness apps that cover the rest of the
+// suite (radix, lu, migratory) never take a lock, so this trace is the
+// only lock coverage under audit.
+func TestContendedLocksKeepDispatchOrder(t *testing.T) {
+	tr := &trace.Trace{Name: "lockstorm", CPUs: make([][]trace.Op, 32), Footprint: 1 << 18}
+	for cpu := 0; cpu < 32; cpu++ {
+		var ops []trace.Op
+		if cpu < 16 {
+			// Cross-node handoffs on one hot lock: every grant charges
+			// the new holder a remote transaction on the lock word.
+			for i := 0; i < 40; i++ {
+				ops = append(ops,
+					trace.Op{Kind: trace.Lock, Arg: 0, Gap: uint32(11 * (cpu + 1))},
+					wr(uint64((cpu%8)*config.BlocksPerPage+i%config.BlocksPerPage)),
+					trace.Op{Kind: trace.Unlock, Arg: 0})
+			}
+		} else {
+			// Dense independent ticks: the scheduler heap always holds
+			// clocks inside any lock-handoff charge window, so a CPU
+			// requeued with a stale (too-small) heap key is dispatched
+			// ahead of them and trips the dispatch-order audit.
+			for i := 0; i < 2000; i++ {
+				ops = append(ops, trace.Op{Kind: trace.Pad, Gap: 13})
+			}
+		}
+		tr.CPUs[cpu] = ops
+	}
+	m, err := NewMachine(CCNUMA(), config.DefaultCluster(), config.Default(),
+		config.DefaultThresholds(), tr.Footprint, tr.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableAudit()
+	if err := m.Execute(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.AuditViolations(); len(got) != 0 {
+		t.Errorf("dispatch-order violations under lock contention: %v", got)
+	}
+	if got := m.fabric.Violations(); len(got) != 0 {
+		t.Errorf("fabric violations under lock contention: %v", got)
+	}
+}

@@ -11,6 +11,12 @@
 // internal/interconnect fabric selected by the cluster's Net
 // configuration, charging per-link traffic counters and, on multi-hop
 // or bandwidth-limited fabrics, hop latency and link queuing.
+//
+// Page operations run through a small pageop layer that carries each
+// operation's explicit event time, so their cost, traffic and
+// serialization accounting cannot drift apart; a machine in audit mode
+// (EnableAudit, or RunOptions.Audit) checks event-time discipline as it
+// runs and the internal/audit conservation checks afterwards.
 package dsm
 
 import "repro/internal/config"

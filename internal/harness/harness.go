@@ -44,6 +44,14 @@ type Options struct {
 	// Verbose streams per-run progress lines to Out.
 	Verbose bool
 
+	// Audit enables the machines' self-auditing mode: event-time
+	// discipline is enforced while each simulation runs and the
+	// internal/audit conservation checks (traffic ⇄ fabric byte
+	// conservation, page-busy monotonicity, directory/cache agreement)
+	// run over every finished machine; any violation fails the
+	// experiment. Auditing does not change simulated results.
+	Audit bool
+
 	// Out receives the rendered report (required).
 	Out io.Writer
 }
@@ -173,7 +181,7 @@ func runExperiment(name string, systems []systemRun, o Options) (*Result, error)
 		if err := forEach(all, o.Parallel, func(i int, s systemRun) error {
 			scl := cl
 			scl.Net = s.net
-			sim, err := dsm.Run(tr, s.spec, scl, s.tm, s.th)
+			sim, err := dsm.RunWithOptions(tr, s.spec, scl, s.tm, s.th, dsm.RunOptions{Audit: o.Audit})
 			if err != nil {
 				return fmt.Errorf("harness: %s on %s: %w", app.Name, s.name(), err)
 			}

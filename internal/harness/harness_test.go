@@ -6,12 +6,15 @@ import (
 	"testing"
 )
 
-// opts builds fast test options over a subset of applications.
+// opts builds fast test options over a subset of applications. Audit is
+// on for every harness test: each simulation runs under event-time
+// discipline and the internal/audit conservation checks, so a protocol
+// accounting bug fails the suite even where no assertion looks.
 func opts(buf *bytes.Buffer, appNames ...string) Options {
 	if len(appNames) == 0 {
 		appNames = []string{"radix"}
 	}
-	return Options{Scale: 8, Apps: appNames, Parallel: 4, Out: buf}
+	return Options{Scale: 8, Apps: appNames, Parallel: 4, Out: buf, Audit: true}
 }
 
 func TestFig5Structure(t *testing.T) {
@@ -132,7 +135,7 @@ func TestRunByName(t *testing.T) {
 
 func TestUnknownAppRejected(t *testing.T) {
 	var buf bytes.Buffer
-	o := Options{Scale: 8, Apps: []string{"nosuch"}, Out: &buf}
+	o := Options{Scale: 8, Apps: []string{"nosuch"}, Out: &buf, Audit: true}
 	if _, err := Fig5(o); err == nil {
 		t.Error("unknown app accepted")
 	}
@@ -140,8 +143,8 @@ func TestUnknownAppRejected(t *testing.T) {
 
 func TestSerialAndParallelAgree(t *testing.T) {
 	var b1, b2 bytes.Buffer
-	serial := Options{Scale: 8, Apps: []string{"radix"}, Parallel: 0, Out: &b1}
-	parallel := Options{Scale: 8, Apps: []string{"radix"}, Parallel: 8, Out: &b2}
+	serial := Options{Scale: 8, Apps: []string{"radix"}, Parallel: 0, Out: &b1, Audit: true}
+	parallel := Options{Scale: 8, Apps: []string{"radix"}, Parallel: 8, Out: &b2, Audit: true}
 	r1, err := Fig5(serial)
 	if err != nil {
 		t.Fatal(err)

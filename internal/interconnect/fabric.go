@@ -27,6 +27,16 @@ type Fabric struct {
 
 	localBytes int64
 	localMsgs  int64
+
+	// Audit mode. When enabled, every injection is checked against the
+	// event-time floor the simulation advances as it dispatches events:
+	// a message injected at a time before the floor was emitted in the
+	// simulated past, which silently mis-times link occupancy and hides
+	// traffic from time-windowed views. Violations are recorded rather
+	// than panicking so a whole run can be audited in one pass.
+	auditing   bool
+	auditFloor int64
+	violations stats.ViolationLog
 }
 
 // New builds the fabric described by a config.Network for the given node
@@ -102,6 +112,24 @@ func (f *Fabric) ExtraHopLatency(src, dst int) int64 {
 	return int64(hops-1) * f.hopLatency
 }
 
+// EnableAudit switches the fabric into audit mode: injections whose
+// timestamp precedes the current audit floor (see SetAuditFloor) are
+// recorded as event-time violations. Counting and routing behaviour is
+// unchanged, so an audited run produces byte-identical results.
+func (f *Fabric) EnableAudit() { f.auditing = true }
+
+// SetAuditFloor advances the event-time floor to t: the simulation
+// calls it as each event is dispatched, so that any message injected at
+// an earlier time is known to have been emitted in the simulated past.
+// The floor is set, not maxed — overlapping transactions from different
+// processors legitimately inject at non-monotone times, and only the
+// currently dispatched event bounds what "now" may mean.
+func (f *Fabric) SetAuditFloor(t int64) { f.auditFloor = t }
+
+// Violations returns the event-time violations observed since the
+// fabric was built (empty when auditing is off or the run was clean).
+func (f *Fabric) Violations() []string { return f.violations.All() }
+
 // occupancy is how long a message of the given size holds each link.
 func (f *Fabric) occupancy(bytes int64) int64 {
 	if f.bytesPerCycle <= 0 {
@@ -117,6 +145,10 @@ func (f *Fabric) occupancy(bytes int64) int64 {
 // itself crosses no link and arrives immediately; its bytes are
 // accounted as local.
 func (f *Fabric) Traverse(src, dst int, bytes int64, now int64) int64 {
+	if f.auditing && now < f.auditFloor {
+		f.violations.Addf("interconnect: message %d->%d (%d bytes) injected at t=%d, before event floor %d",
+			src, dst, bytes, now, f.auditFloor)
+	}
 	route := f.topo.Route(src, dst)
 	if len(route) == 0 {
 		f.localBytes += bytes
@@ -172,6 +204,10 @@ func (f *Fabric) Snapshot() *stats.NetStats {
 		Links:      make([]stats.LinkStat, len(f.linkBytes)),
 		LocalBytes: f.localBytes,
 		LocalMsgs:  f.localMsgs,
+		Pairs:      make([][]int64, n),
+	}
+	for s := 0; s < n; s++ {
+		out.Pairs[s] = append([]int64(nil), f.pairBytes[s]...)
 	}
 	for i, l := range f.topo.Links() {
 		out.Links[i] = stats.LinkStat{Name: l.Name, Bytes: f.linkBytes[i], Msgs: f.linkMsgs[i]}

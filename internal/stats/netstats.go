@@ -34,6 +34,25 @@ type NetStats struct {
 	// destination lie in different halves of the node id space,
 	// independent of the route taken.
 	BisectionBytes int64
+
+	// Pairs[src][dst] is the bytes injected for each ordered node pair
+	// with src != dst — the route-independent ground truth the audit
+	// subsystem checks the per-node traffic counters against.
+	Pairs [][]int64
+}
+
+// InjectedBytes sums the per-pair injections plus node-local messages:
+// every byte a node's traffic counter recorded, counted once regardless
+// of route length. Conservation requires it to equal the summed
+// per-node TrafficBytes of the run.
+func (n *NetStats) InjectedBytes() int64 {
+	t := n.LocalBytes
+	for _, row := range n.Pairs {
+		for _, b := range row {
+			t += b
+		}
+	}
+	return t
 }
 
 // TotalLinkBytes sums bytes over every link. A message on an h-hop route
