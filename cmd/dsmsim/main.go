@@ -1,12 +1,16 @@
-// Command dsmsim runs one application on one simulated DSM system and
-// prints the collected statistics.
+// Command dsmsim runs one application on one or more simulated DSM
+// systems and prints the collected statistics.
 //
 // Usage:
 //
 //	dsmsim -app lu -system rnuma [-scale 4] [-slow] [-netscale 4] [-audit=false]
+//	dsmsim -app lu -systems ccnuma,migrep,migrep-contend -normalize
+//	dsmsim -list
 //
-// Systems: perfect, ccnuma, rep, mig, migrep, rnuma, rnuma-inf,
-// rnuma-half, rnuma-half-migrep, scoma.
+// Systems resolve through the dsm registry (see -list for names):
+// perfect, ccnuma, rep, mig, migrep, rnuma, rnuma-inf, rnuma-half,
+// rnuma-half-migrep, scoma, migrep-contend, and anything registered
+// since.
 package main
 
 import (
@@ -18,52 +22,37 @@ import (
 	"repro/internal/apps"
 	"repro/internal/config"
 	"repro/internal/dsm"
+	"repro/internal/stats"
 )
 
-func systemByName(name string, th config.Thresholds) (dsm.Spec, error) {
-	switch strings.ToLower(name) {
-	case "perfect":
-		return dsm.PerfectCCNUMA(), nil
-	case "ccnuma":
-		return dsm.CCNUMA(), nil
-	case "rep":
-		return dsm.Rep(), nil
-	case "mig":
-		return dsm.Mig(), nil
-	case "migrep":
-		return dsm.MigRep(), nil
-	case "rnuma":
-		return dsm.RNUMA(), nil
-	case "rnuma-inf":
-		return dsm.RNUMAInf(), nil
-	case "rnuma-half":
-		return dsm.RNUMAHalf(), nil
-	case "rnuma-half-migrep":
-		return dsm.RNUMAHalfMigRep(th.MigRepResetInterval), nil
-	case "scoma":
-		return dsm.SCOMA(), nil
-	default:
-		return dsm.Spec{}, fmt.Errorf("unknown system %q", name)
-	}
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }
 
 func main() {
 	var (
 		appName  = flag.String("app", "lu", "application (see -list)")
-		system   = flag.String("system", "ccnuma", "system to simulate")
+		system   = flag.String("system", "ccnuma", "system to simulate (see -list)")
+		systems  = flag.String("systems", "", "comma-separated systems to simulate in sequence (overrides -system)")
 		scale    = flag.Int("scale", 1, "problem-size divisor (1 = full size)")
 		slow     = flag.Bool("slow", false, "use slow page-operation support")
 		netScale = flag.Int64("netscale", 1, "network latency multiplier")
 		audit    = flag.Bool("audit", true, "run with event-time and traffic-conservation audits (internal/audit)")
 		baseline = flag.Bool("normalize", false, "also run perfect CC-NUMA and print normalized time")
 		perNode  = flag.Bool("pernode", false, "print the per-node statistics table")
-		list     = flag.Bool("list", false, "list applications and exit")
+		list     = flag.Bool("list", false, "list applications and systems, then exit")
 	)
 	flag.Parse()
 
 	if *list {
+		fmt.Println("applications:")
 		for _, i := range apps.All() {
-			fmt.Printf("%-10s %s (default input: %s)\n", i.Name, i.Description, i.Input)
+			fmt.Printf("  %-10s %s (default input: %s)\n", i.Name, i.Description, i.Input)
+		}
+		fmt.Println("systems:")
+		for _, s := range dsm.Systems() {
+			fmt.Printf("  %-18s %s\n", s.Name, s.Description)
 		}
 		return
 	}
@@ -79,40 +68,45 @@ func main() {
 
 	app, err := apps.ByName(*appName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
-	spec, err := systemByName(*system, th)
+	names := []string{*system}
+	if *systems != "" {
+		names = strings.Split(*systems, ",")
+	}
+	specs, err := dsm.ResolveSpecs(names, th)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 
 	tr, err := app.Generate(apps.Params{CPUs: cl.TotalCPUs(), Scale: *scale})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	fmt.Printf("trace: %d ops, %.2f MB shared footprint, %d barriers, %d locks\n",
 		tr.Ops(), float64(tr.Footprint)/(1<<20), tr.Barriers, tr.Locks)
 
-	sim, err := dsm.RunWithOptions(tr, spec, cl, tm, th, dsm.RunOptions{Audit: *audit})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Print(sim.Summary())
-	if *perNode {
-		fmt.Print(sim.PerNodeReport())
+	// The normalization baseline is system-independent: run it once.
+	var base *stats.Sim
+	if *baseline {
+		base, err = dsm.RunWithOptions(tr, dsm.PerfectCCNUMA(), cl, config.Default(), th, dsm.RunOptions{Audit: *audit})
+		if err != nil {
+			fail(err)
+		}
 	}
 
-	if *baseline {
-		base, err := dsm.RunWithOptions(tr, dsm.PerfectCCNUMA(), cl, config.Default(), th, dsm.RunOptions{Audit: *audit})
+	for _, spec := range specs {
+		sim, err := dsm.RunWithOptions(tr, spec, cl, tm, th, dsm.RunOptions{Audit: *audit})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
-		fmt.Printf("  normalized:     %.3f vs perfect CC-NUMA (%d cycles)\n",
-			sim.Normalized(base), base.ExecCycles)
+		fmt.Print(sim.Summary())
+		if *perNode {
+			fmt.Print(sim.PerNodeReport())
+		}
+		if base != nil {
+			fmt.Printf("  normalized:     %.3f vs perfect CC-NUMA (%d cycles)\n",
+				sim.Normalized(base), base.ExecCycles)
+		}
 	}
 }

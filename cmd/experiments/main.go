@@ -3,14 +3,22 @@
 //
 // Usage:
 //
-//	experiments                       # run everything at full scale
-//	experiments -experiment fig5      # one experiment
-//	experiments -experiment toposweep # Figure 5 across interconnect fabrics
-//	experiments -scale 4 -parallel 8  # smaller inputs, concurrent runs
-//	experiments -experiment params    # print the encoded Tables 2 and 3
+//	experiments                             # run everything at full scale
+//	experiments -experiment fig5            # one experiment
+//	experiments -experiment fig5 -systems ccnuma,migrep-contend,rnuma
+//	experiments -experiment toposweep       # Figure 5 across interconnect fabrics
+//	experiments -scale 4 -parallel 8        # smaller inputs, concurrent runs
+//	experiments -json results.json -csv results.csv
+//	experiments -experiment params          # print the encoded Tables 2 and 3
+//	experiments -list-systems               # print the memory-system registry
+//
+// Systems resolve through the dsm registry, so -systems accepts any
+// registered name — including systems that postdate the paper, such as
+// the contention-aware "migrep-contend".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +27,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/config"
+	"repro/internal/dsm"
 	"repro/internal/harness"
 )
 
@@ -48,18 +57,37 @@ func printParams() {
 	fmt.Println("slow systems: 1200 and 64.")
 }
 
+func printSystems() {
+	fmt.Println("registered memory systems (dsm registry):")
+	for _, s := range dsm.Systems() {
+		fmt.Printf("  %-18s %s\n", s.Name, s.Description)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "experiment: fig5, table4, fig6, fig7, fig8, toposweep, params, all")
-		scale    = flag.Int("scale", 1, "problem-size divisor (1 = full size)")
-		appsFlag = flag.String("apps", "", "comma-separated app subset (default: the paper's seven)")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations per app (0 = serial)")
-		verbose  = flag.Bool("verbose", false, "print per-run progress")
-		audit    = flag.Bool("audit", true, "run every simulation with event-time and traffic-conservation audits (internal/audit)")
-		csvPath  = flag.String("csv", "", "also append machine-readable rows to this file")
+		exp         = flag.String("experiment", "all", "experiment: fig5, table4, fig6, fig7, fig8, toposweep, params, all")
+		scale       = flag.Int("scale", 1, "problem-size divisor (1 = full size)")
+		appsFlag    = flag.String("apps", "", "comma-separated app subset (default: the paper's seven)")
+		systemsFlag = flag.String("systems", "", "comma-separated system override from the dsm registry (see -list-systems)")
+		parallel    = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations per app (0 = serial)")
+		verbose     = flag.Bool("verbose", false, "print per-run progress")
+		audit       = flag.Bool("audit", true, "run every simulation with event-time and traffic-conservation audits (internal/audit)")
+		csvPath     = flag.String("csv", "", "also write machine-readable CSV rows to this file")
+		jsonPath    = flag.String("json", "", "also write the structured records as JSON to this file")
+		listSystems = flag.Bool("list-systems", false, "list the registered memory systems and exit")
 	)
 	flag.Parse()
 
+	if *listSystems {
+		printSystems()
+		return
+	}
 	if *exp == "params" {
 		printParams()
 		return
@@ -75,15 +103,20 @@ func main() {
 	if *appsFlag != "" {
 		o.Apps = strings.Split(*appsFlag, ",")
 	}
+	if *systemsFlag != "" {
+		o.Systems = strings.Split(*systemsFlag, ",")
+	}
 
 	var csvFile *os.File
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		defer f.Close()
+		if err := harness.WriteCSVHeader(f); err != nil {
+			fail(err)
+		}
 		csvFile = f
 	}
 
@@ -91,18 +124,29 @@ func main() {
 	if *exp != "all" {
 		names = []string{*exp}
 	}
+	var records []harness.Record
 	for _, n := range names {
 		r, err := harness.RunByName(n, o)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		if csvFile != nil {
-			if err := r.WriteCSV(csvFile); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+			if err := r.WriteCSVRows(csvFile); err != nil {
+				fail(err)
 			}
 		}
+		if *jsonPath != "" {
+			records = append(records, r.Records()...)
+		}
 		fmt.Println()
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fail(err)
+		}
 	}
 }

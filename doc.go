@@ -6,17 +6,46 @@
 // shared-memory applications, and a harness regenerating every table and
 // figure of the paper's evaluation.
 //
-// Beyond the paper, internal/interconnect models the cluster fabric as
-// an explicit graph with pluggable topologies (ideal crossbar, ring, 2D
-// mesh, fat-tree), deterministic routing, per-link byte counters and
-// optional finite link bandwidth; every protocol message the machines
-// exchange is routed over it. The default ideal crossbar reproduces the
-// paper's flat network-latency model exactly, while the harness's
-// topology-sweep experiment (cmd/experiments -experiment toposweep)
-// re-runs the Figure 5 comparison across fabrics and reports maximum
-// per-link and bisection traffic — where migration/replication's bulk
-// 4-KB page moves congest links that fine-grain 64-byte caching does
-// not.
+// # Memory systems are pluggable policies
+//
+// The paper's whole contribution is a comparison across memory-system
+// policies, so the policy layer is a first-class API. A system is
+// described in three layers (internal/dsm): a Spec carries the
+// hardware configuration and is validated at construction; a Policy
+// supplies the decision hooks the fault paths call (remote-miss
+// handling, relocation decisions, page-cache eviction choice,
+// per-interval counter maintenance); and a package-level registry
+// (dsm.Register / dsm.Lookup / dsm.Systems) maps stable names —
+// "ccnuma", "migrep", "rnuma-half-migrep", ... — to Spec constructors,
+// mirroring how internal/apps registers workloads. Every CLI and the
+// harness resolve systems only by these names, so a new policy plugs
+// in end to end without touching the protocol core; the
+// contention-aware "migrep-contend" (defer page moves while their
+// route is the fabric's hot spot) is registered exactly this way.
+//
+// # Experiments return structured results
+//
+// internal/harness runs each experiment (fig5, table4, fig6, fig7,
+// fig8, toposweep) over any registered system set (Options.Systems)
+// and returns a structured Result: one Record per (application,
+// system, fabric) run with normalized time, miss and page-operation
+// breakdowns, traffic, and interconnect hot-link/bisection statistics.
+// Rendering is separate from running — WriteText reproduces the
+// paper-style tables (locked byte-for-byte by golden tests), WriteCSV
+// and WriteJSON emit the flat records.
+//
+// # Beyond the paper
+//
+// internal/interconnect models the cluster fabric as an explicit graph
+// with pluggable topologies (ideal crossbar, ring, 2D mesh, fat-tree),
+// deterministic routing, per-link byte counters and optional finite
+// link bandwidth; every protocol message the machines exchange is
+// routed over it. The default ideal crossbar reproduces the paper's
+// flat network-latency model exactly, while the topology-sweep
+// experiment (cmd/experiments -experiment toposweep) re-runs the
+// Figure 5 comparison across fabrics and reports maximum per-link and
+// bisection traffic — where migration/replication's bulk 4-KB page
+// moves congest links that fine-grain 64-byte caching does not.
 //
 // The simulator audits itself. Every page operation and asynchronous
 // writeback carries an explicit event time, and audit mode — on by
@@ -30,6 +59,6 @@
 // agree with the caches. A protocol path that skews the paper's traffic
 // tables therefore fails loudly instead of silently.
 //
-// See README.md for the layout, cmd/experiments for the reproduction
+// See README.md for a quickstart, cmd/experiments for the reproduction
 // driver, and bench_test.go (this directory) for per-figure benchmarks.
 package repro

@@ -1,10 +1,14 @@
 // Topologysweep runs one application on the paper's three main systems
-// across interconnect fabrics (ideal crossbar, ring, 2D mesh) and prints
-// each run's hot-link table: which physical links carry the traffic, how
-// loaded the hottest one is, and how much crosses the cluster bisection.
-// Migration/replication's bulk 4-KB page moves concentrate load on the
-// links near hot pages' homes in ways fine-grain 64-byte caching does
-// not — visible here, invisible in the flat-latency model.
+// — plus the registry-grown contention-aware MigRep — across
+// interconnect fabrics (ideal crossbar, ring, 2D mesh) and prints each
+// run's hot-link table: which physical links carry the traffic, how
+// loaded the hottest one is, and how much crosses the cluster
+// bisection. Migration/replication's bulk 4-KB page moves concentrate
+// load on the links near hot pages' homes in ways fine-grain 64-byte
+// caching does not — visible here, invisible in the flat-latency
+// model. "migrep-contend" (a dsm-registry policy; no core or protocol
+// changes were needed to add it here) defers those moves while their
+// route is the fabric's hot spot.
 //
 //	go run ./examples/topologysweep [-app migratory] [-scale 4] [-hot 5]
 package main
@@ -24,7 +28,7 @@ func main() {
 	hot := flag.Int("hot", 5, "hot links to print per run")
 	flag.Parse()
 
-	systems := []core.System{core.SystemCCNUMA, core.SystemMigRep, core.SystemRNUMA}
+	systems := []core.System{core.SystemCCNUMA, core.SystemMigRep, core.SystemMigRepCont, core.SystemRNUMA}
 	fabrics := []config.Network{
 		{Topology: config.TopoCrossbar},
 		{Topology: config.TopoRing},

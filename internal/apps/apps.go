@@ -3,6 +3,7 @@ package apps
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/trace"
 )
@@ -82,11 +83,25 @@ func Paper() []Info {
 	return out
 }
 
-// ByName returns the named application.
+// Names returns every registered application name in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns the named application (surrounding whitespace
+// ignored, so comma-separated flag values may contain spaces). An
+// unknown name fails with an error that lists every registered
+// application.
 func ByName(name string) (Info, error) {
-	i, ok := registry[name]
+	i, ok := registry[strings.TrimSpace(name)]
 	if !ok {
-		return Info{}, fmt.Errorf("apps: unknown application %q", name)
+		return Info{}, fmt.Errorf("apps: unknown application %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
 	}
 	return i, nil
 }

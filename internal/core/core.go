@@ -24,10 +24,12 @@ import (
 	"repro/internal/trace"
 )
 
-// System names one of the simulated machine configurations.
+// System names one of the simulated machine configurations. Any name
+// in the dsm registry is valid; the constants below cover the paper's
+// systems and the repo's extensions.
 type System string
 
-// The nine systems of the paper.
+// The paper's nine systems plus the registered extensions.
 const (
 	SystemPerfect     System = "perfect"
 	SystemCCNUMA      System = "ccnuma"
@@ -42,15 +44,23 @@ const (
 	// SystemSCOMA is the static fine-grain caching ablation (every
 	// remote page placed in the page cache on first touch).
 	SystemSCOMA System = "scoma"
+
+	// SystemMigRepCont is MigRep with contention-aware page moves:
+	// moves are deferred while the route they would take has carried a
+	// disproportionate (cumulative) share of fabric traffic. The gate
+	// reads per-link byte counters, so it engages on every topology —
+	// including the ideal crossbar, whose dedicated per-pair links
+	// count traffic even though they model no contention.
+	SystemMigRepCont System = "migrep-contend"
 )
 
-// Systems returns every system name in presentation order.
+// Systems returns every registered system name in presentation order.
 func Systems() []System {
-	return []System{
-		SystemPerfect, SystemCCNUMA, SystemRep, SystemMig, SystemMigRep,
-		SystemRNUMA, SystemRNUMAInf, SystemRNUMAHalf, SystemRNUMAHalfMR,
-		SystemSCOMA,
+	var out []System
+	for _, name := range dsm.SystemNames() {
+		out = append(out, System(name))
 	}
+	return out
 }
 
 // Options configures a session.
@@ -140,32 +150,21 @@ func (s *Session) Applications() []string {
 	return out
 }
 
-// Spec resolves a system name to its machine specification.
+// Spec resolves a system name to its machine specification through the
+// dsm registry, so every registered system — including ones added
+// after this package was written — is available to sessions by name.
 func (s *Session) Spec(sys System) (dsm.Spec, error) {
-	switch sys {
-	case SystemPerfect:
-		return dsm.PerfectCCNUMA(), nil
-	case SystemCCNUMA:
-		return dsm.CCNUMA(), nil
-	case SystemRep:
-		return dsm.Rep(), nil
-	case SystemMig:
-		return dsm.Mig(), nil
-	case SystemMigRep:
-		return dsm.MigRep(), nil
-	case SystemRNUMA:
-		return dsm.RNUMA(), nil
-	case SystemRNUMAInf:
-		return dsm.RNUMAInf(), nil
-	case SystemRNUMAHalf:
-		return dsm.RNUMAHalf(), nil
-	case SystemRNUMAHalfMR:
-		return dsm.RNUMAHalfMigRep(s.opts.RelocDelay), nil
-	case SystemSCOMA:
-		return dsm.SCOMA(), nil
-	default:
-		return dsm.Spec{}, fmt.Errorf("core: unknown system %q", sys)
+	info, err := dsm.Lookup(string(sys))
+	if err != nil {
+		return dsm.Spec{}, fmt.Errorf("core: %w", err)
 	}
+	spec := info.New(s.opts.Thresholds)
+	// The session's RelocDelay option overrides the registry's
+	// threshold-derived default for delayed-relocation systems.
+	if spec.RelocDelayMisses > 0 && s.opts.RelocDelay > 0 {
+		spec.RelocDelayMisses = s.opts.RelocDelay
+	}
+	return spec, nil
 }
 
 // Trace returns the (cached) trace of an application.

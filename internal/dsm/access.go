@@ -140,11 +140,9 @@ func (m *Machine) access(c *engine.CPU, b memory.Block, write bool) {
 		ns.TrafficBytes += 2 * msgHeaderBytes
 		c.Clock += lat
 		ns.PageOpCycles += lat
-		if m.spec.AlwaysSCOMA {
-			// Static S-COMA: the page maps straight into the page
-			// cache; its blocks fetch on demand.
-			m.mapSCOMA(c, n, p)
-		}
+		// Static-placement policies (AlwaysSCOMA) act on the fresh
+		// mapping.
+		m.pol.OnPageMapped(c, n, p)
 	}
 
 	// A write to a replicated page takes a protection fault and forces
@@ -219,8 +217,8 @@ func (m *Machine) upgrade(c *engine.CPU, n int, b memory.Block) {
 	// The policy hook runs after the upgrade's state changes: a page
 	// operation it triggers may gather this very page, including the
 	// copy just upgraded.
-	if remoteUpgrade && m.spec.MigRep() && h != n {
-		m.pokeMigRep(c, n, p, true)
+	if remoteUpgrade {
+		m.pol.OnRemoteUpgrade(c, n, p)
 	}
 }
 
@@ -292,9 +290,7 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 	// migration can weigh the home's use against a remote requester's;
 	// they never count as remote read/write sharing.
 	if h == n {
-		if m.spec.MigRep() {
-			m.pokeMigRep(c, n, p, write)
-		}
+		m.pol.OnHomeMiss(c, n, p, write)
 		if owner, dirty := m.dir.IsDirtyRemote(b, n); dirty {
 			// 3-hop fetch from the remote owner: the forward request
 			// travels home->owner, the data and ack return owner->home.
@@ -358,9 +354,7 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 			ns.TrafficBytes += 2 * msgHeaderBytes
 			m.invalidateSharers(n, h, b, remote, end)
 			m.advance(c, ns, end)
-			if m.spec.MigRep() {
-				m.pokeMigRep(c, n, p, true)
-			}
+			m.pol.OnRemoteUpgrade(c, n, p)
 			m.completeFill(c, n, b, write)
 			return
 		}
@@ -396,19 +390,11 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 	}
 	m.advance(c, ns, end)
 
-	// Policy hooks: home-side migration/replication counters and
-	// cacher-side R-NUMA refetch counters. Page operations they trigger
-	// run after the fill completes and are charged to this CPU.
-	if m.spec.MigRep() {
-		m.pokeMigRep(c, n, p, write)
-	}
-	if m.spec.RNUMA && cls == stats.CapacityConflict &&
-		m.pt.Entry(p).Home != n && m.pc[n].Entry(p) == nil {
-		m.ref[n][p]++
-		if int(m.ref[n][p]) >= m.th.RNUMAThreshold {
-			m.maybeRelocate(c, n, p)
-		}
-	}
+	// Policy hook: home-side migration/replication counters and
+	// cacher-side R-NUMA refetch counters. Page operations the policy
+	// triggers run after the fill completes and are charged to this
+	// CPU.
+	m.pol.OnRemoteMiss(c, n, p, cls, write)
 	m.completeFill(c, n, b, write)
 }
 

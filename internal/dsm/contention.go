@@ -1,0 +1,62 @@
+package dsm
+
+// Contention-aware MigRep: the paper's migration/replication policy
+// decides purely from per-page miss counters, which on a real fabric
+// can pile 4-KB page moves onto links that are already the cluster's
+// hot spot. This variant consults the interconnect's per-link byte
+// counters (the topology work of PR 1) before every page move and
+// defers the move while the route it would take is the fabric's hot
+// spot. The miss counters stay in place, so a deferred move
+// re-triggers on a later miss once the route's share has evened out.
+//
+// The hot-spot test is relative and cumulative: a route is gated while
+// its hottest link has carried more than contentionFactor times the
+// fabric-wide mean per-link bytes *over the whole run so far*. The
+// counters never decay, so this measures a route's share of all
+// traffic, not its instantaneous load — a route gated after an early
+// burst ungates only once the rest of the fabric catches up
+// cumulatively. That keeps the gate a pure function of counters the
+// modeled hardware already has (deterministic, no clocks or windows),
+// at the cost of reacting to history rather than the present. It also
+// engages on the ideal crossbar, whose dedicated per-pair links make
+// any hot pair a "hot link" even though the crossbar models no
+// contention.
+//
+// The policy plugs in purely through the registration path: a Spec
+// whose NewPolicy gates the stock migRepPolicy, registered under
+// "migrep-contend". No fault-handling code knows it exists.
+
+// contentionFactor is the hot-spot test: a route is gated when its
+// hottest link has carried more than this multiple of the fabric-wide
+// mean per-link bytes.
+const contentionFactor = 2
+
+// ContentionMigRep is CC-NUMA with contention-aware page migration and
+// replication: MigRep whose page moves are deferred while the hottest
+// link on the home→requester route has carried more than
+// contentionFactor times the mean per-link bytes (see the package
+// comment above for the exact — cumulative — semantics).
+func ContentionMigRep() Spec {
+	s := MigRep()
+	s.Name = "MigRep-Cont"
+	s.NewPolicy = newContentionPolicy
+	return s
+}
+
+// newContentionPolicy builds the default policy for the spec and gates
+// its page moves on the fabric's per-link load.
+func newContentionPolicy(s Spec) Policy {
+	p := newSpecPolicy(s).(*specPolicy)
+	mr := p.mr
+	if mr == nil {
+		// A caller cleared the Spec's Migration/Replication flags:
+		// there are no page moves to gate, so behave as the plain
+		// derived policy instead of dereferencing a missing component.
+		return p
+	}
+	mr.moveOK = func(home, requester int) bool {
+		f := mr.m.Fabric()
+		return f.RouteMaxLinkBytes(home, requester) <= contentionFactor*f.MeanLinkBytes()
+	}
+	return p
+}

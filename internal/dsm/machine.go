@@ -48,6 +48,11 @@ type Machine struct {
 	tm   config.Timing
 	th   config.Thresholds
 
+	// pol is the decision layer (see Policy): the machine calls it at
+	// the fault-path seams, and it calls back into the machine's page
+	// operation mechanisms.
+	pol Policy
+
 	numBlocks uint64
 	numPages  uint64
 
@@ -107,6 +112,9 @@ type Machine struct {
 // footprint.
 func NewMachine(spec Spec, cl config.Cluster, tm config.Timing, th config.Thresholds, footprintBytes uint64, app string) (*Machine, error) {
 	if err := cl.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	numPages := (footprintBytes + config.PageBytes - 1) / config.PageBytes
@@ -182,9 +190,18 @@ func NewMachine(spec Spec, cl config.Cluster, tm config.Timing, th config.Thresh
 			m.pc[n] = cache.NewPageCache(spec.PageCacheBytes)
 		}
 	}
+	newPolicy := spec.NewPolicy
+	if newPolicy == nil {
+		newPolicy = newSpecPolicy
+	}
+	m.pol = newPolicy(spec)
+	m.pol.Attach(m)
 	m.deriveFixed()
 	return m, nil
 }
+
+// Policy returns the machine's attached decision layer.
+func (m *Machine) Policy() Policy { return m.pol }
 
 // deriveFixed splits the Table 3 end-to-end latencies into the fixed
 // component charged on top of the modeled resource occupancies, so that

@@ -8,61 +8,6 @@ import (
 	"repro/internal/stats"
 )
 
-// pokeMigRep runs the home-side page reference monitoring hardware for a
-// fill or upgrade request on page p issued by node n. It increments the
-// per-page per-node miss counters, applies the periodic reset, and
-// invokes page replication or migration when the thresholds of Section
-// 3.1 fire. Any page operation is charged to the requesting CPU, which
-// is the one waiting on the page.
-func (m *Machine) pokeMigRep(c *engine.CPU, n int, p memory.Page, write bool) {
-	e := m.pt.Entry(p)
-	h := e.Home
-	cnt := m.migCounter(p)
-	cnt.sinceReset++
-	// The reference that lands exactly on the reset interval still
-	// reaches the threshold checks below: the counters clear only after
-	// it has been considered. (Resetting first swallowed every
-	// interval's final reference, so a page whose counter crossed the
-	// threshold on that reference never triggered an operation.)
-	if int(cnt.sinceReset) >= m.th.MigRepResetInterval {
-		defer cnt.reset()
-	}
-	if n == h {
-		// The home's own misses weigh against migrating the page away
-		// but trigger nothing themselves.
-		cnt.homeUse++
-		return
-	}
-	if write {
-		cnt.write[n]++
-	} else {
-		cnt.read[n]++
-	}
-	thr := int32(m.th.MigRepThreshold)
-
-	// Replication: the page is read-only in this interval and the
-	// requester reads it heavily. Pages recently collapsed by a write
-	// stay ineligible until their counters reset.
-	if m.spec.Replication && !cnt.anyWrites() && !cnt.noRepl &&
-		cnt.read[n] >= thr && e.Mode[n] != memory.ModeReplica {
-		if e.Replicated {
-			m.grantReplica(c, n, p)
-		} else {
-			m.replicate(c, n, p)
-		}
-		return
-	}
-
-	// Migration: the requester misses on the page at least a threshold
-	// more than the home uses it. Remote references accrue to the
-	// read/write banks, the home's own references only ever to homeUse,
-	// so homeUse is the whole home-side weight of the comparison.
-	if m.spec.Migration && !e.Replicated &&
-		cnt.total(n) >= cnt.homeUse+thr {
-		m.migrate(c, n, p)
-	}
-}
-
 // cleanPage writes every dirty cached block of page p back to home at
 // the operation's current event time, downgrading the owners to Shared.
 // It returns the number of blocks flushed, which sizes the gather cost.

@@ -1,0 +1,116 @@
+package dsm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+)
+
+// SystemInfo describes one registered memory system: a stable name for
+// CLIs and harness options, a one-line description, and a constructor
+// producing the system's Spec under a given threshold environment
+// (some systems derive parameters from the thresholds, e.g. the
+// R-NUMA+MigRep relocation delay).
+type SystemInfo struct {
+	// Name is the stable registry key ("ccnuma", "migrep", ...), used
+	// by -system/-systems flags and harness Options.Systems. Lookups
+	// are case-insensitive; names register in lower case.
+	Name string
+
+	// Description is a one-line summary shown by CLI listings.
+	Description string
+
+	// New builds the system's Spec for the given policy thresholds.
+	New func(th config.Thresholds) Spec
+}
+
+var (
+	sysRegistry = map[string]SystemInfo{}
+	sysOrder    []string // registration (= presentation) order
+)
+
+// Register adds a memory system to the registry. It panics on a
+// duplicate or incomplete registration, mirroring internal/apps.
+func Register(s SystemInfo) {
+	if s.Name == "" || s.New == nil {
+		panic("dsm: Register requires a name and a constructor")
+	}
+	key := strings.ToLower(s.Name)
+	if _, dup := sysRegistry[key]; dup {
+		panic("dsm: duplicate system " + key)
+	}
+	s.Name = key
+	sysRegistry[key] = s
+	sysOrder = append(sysOrder, key)
+}
+
+// Lookup resolves a registered system by name (case-insensitive,
+// surrounding whitespace ignored so comma-separated flag values may
+// contain spaces). An unknown name fails with an error that lists
+// every registered system.
+func Lookup(name string) (SystemInfo, error) {
+	if s, ok := sysRegistry[strings.ToLower(strings.TrimSpace(name))]; ok {
+		return s, nil
+	}
+	return SystemInfo{}, fmt.Errorf("dsm: unknown system %q (registered: %s)",
+		name, strings.Join(SystemNames(), ", "))
+}
+
+// ResolveSpecs looks up each named system and constructs its Spec
+// under the given thresholds — the shared resolution path behind every
+// -system/-systems flag and harness override.
+func ResolveSpecs(names []string, th config.Thresholds) ([]Spec, error) {
+	out := make([]Spec, 0, len(names))
+	for _, n := range names {
+		info, err := Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, info.New(th))
+	}
+	return out, nil
+}
+
+// Systems returns every registered system in registration order.
+func Systems() []SystemInfo {
+	out := make([]SystemInfo, 0, len(sysOrder))
+	for _, n := range sysOrder {
+		out = append(out, sysRegistry[n])
+	}
+	return out
+}
+
+// SystemNames returns the registered system names in registration
+// order.
+func SystemNames() []string {
+	return append([]string(nil), sysOrder...)
+}
+
+// The paper's systems (and the extensions grown since) register here in
+// presentation order. New systems plug in the same way — through
+// Register, without touching the protocol core.
+func init() {
+	fixed := func(f func() Spec) func(config.Thresholds) Spec {
+		return func(config.Thresholds) Spec { return f() }
+	}
+	Register(SystemInfo{Name: "perfect", Description: "CC-NUMA with an infinite block cache (normalization baseline)", New: fixed(PerfectCCNUMA)})
+	Register(SystemInfo{Name: "ccnuma", Description: "base CC-NUMA with a 64-KB 4-way block cache", New: fixed(CCNUMA)})
+	Register(SystemInfo{Name: "rep", Description: "CC-NUMA with page replication only", New: fixed(Rep)})
+	Register(SystemInfo{Name: "mig", Description: "CC-NUMA with page migration only", New: fixed(Mig)})
+	Register(SystemInfo{Name: "migrep", Description: "CC-NUMA with page migration and replication", New: fixed(MigRep)})
+	Register(SystemInfo{Name: "rnuma", Description: "R-NUMA with a 2.4-MB S-COMA page cache", New: fixed(RNUMA)})
+	Register(SystemInfo{Name: "rnuma-inf", Description: "R-NUMA with an unbounded page cache", New: fixed(RNUMAInf)})
+	Register(SystemInfo{Name: "rnuma-half", Description: "R-NUMA with half the base page cache (1.2 MB)", New: fixed(RNUMAHalf)})
+	Register(SystemInfo{
+		Name:        "rnuma-half-migrep",
+		Description: "halved R-NUMA integrated with MigRep, relocation delayed (Section 6.4)",
+		New: func(th config.Thresholds) Spec {
+			// The delay keeps the paper's ratio to the switching
+			// threshold at our scaled inputs; see Fig8.
+			return RNUMAHalfMigRep(8 * th.RNUMAThreshold)
+		},
+	})
+	Register(SystemInfo{Name: "scoma", Description: "static S-COMA placement of every remote page on first touch", New: fixed(SCOMA)})
+	Register(SystemInfo{Name: "migrep-contend", Description: "MigRep that defers page moves while their route has carried a disproportionate share of fabric traffic", New: fixed(ContentionMigRep)})
+}

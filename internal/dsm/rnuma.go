@@ -8,17 +8,13 @@ import (
 	"repro/internal/stats"
 )
 
-// maybeRelocate runs the R-NUMA relocation interrupt for node n on page
-// p after its refetch counter crossed the threshold. Relocation is a
-// purely local operation: flush the node's cached copies of the page,
-// unmap it, allocate a frame in the S-COMA page cache (evicting the LRU
-// page if full), and remap; the necessary blocks are refetched on
-// demand.
-func (m *Machine) maybeRelocate(c *engine.CPU, n int, p memory.Page) {
-	if m.spec.RelocDelayMisses > 0 &&
-		m.pageMissTotal[p] < int64(m.spec.RelocDelayMisses) {
-		return
-	}
+// relocate runs the R-NUMA relocation interrupt for node n on page p
+// after the policy decided to relocate it. Relocation is a purely
+// local operation: flush the node's cached copies of the page, unmap
+// it, allocate a frame in the S-COMA page cache (evicting a
+// policy-chosen victim if full), and remap; the necessary blocks are
+// refetched on demand.
+func (m *Machine) relocate(c *engine.CPU, n int, p memory.Page) {
 	e := m.pt.Entry(p)
 	if e.Home == n || e.Mode[n] == memory.ModeReplica {
 		return
@@ -26,9 +22,9 @@ func (m *Machine) maybeRelocate(c *engine.CPU, n int, p memory.Page) {
 	pc := m.pc[n]
 	op := m.beginPageOp(c, n)
 
-	// Make room: deallocate the least-recently-used page frame.
+	// Make room: deallocate the policy-chosen victim frame.
 	if pc.Full() {
-		m.evictLRUFrame(op, n)
+		m.evictFrame(op, n)
 	}
 
 	// Flush our CC-NUMA cached copies of the page; they will be
@@ -69,7 +65,7 @@ func (m *Machine) mapSCOMA(c *engine.CPU, n int, p memory.Page) {
 	}
 	op := m.beginPageOp(c, n)
 	if pc.Full() {
-		m.evictLRUFrame(op, n)
+		m.evictFrame(op, n)
 	}
 	pc.Allocate(p)
 	m.pt.Entry(p).Mode[n] = memory.ModeSCOMA
@@ -77,15 +73,16 @@ func (m *Machine) mapSCOMA(c *engine.CPU, n int, p memory.Page) {
 	op.finish()
 }
 
-// evictLRUFrame deallocates node n's least-recently-used page frame:
-// the frame's surviving blocks are flushed home at the operation's
-// current event time, the victim page drops back to CC-NUMA mode, its
-// refetch counter restarts, and the node's mapping is cleared so the
-// next touch re-faults. Both eviction paths (reactive relocation and
-// static S-COMA placement) share this helper, so they cannot diverge on
-// the mapping state again.
-func (m *Machine) evictLRUFrame(op *pageOp, n int) {
-	victim := m.pc[n].EvictLRU()
+// evictFrame deallocates the page frame the policy's ChooseVictim
+// picks (LRU under every default policy): the frame's surviving blocks
+// are flushed home at the operation's current event time, the victim
+// page drops back to CC-NUMA mode, its refetch counter restarts, and
+// the node's mapping is cleared so the next touch re-faults. Both
+// eviction paths (reactive relocation and static S-COMA placement)
+// share this helper, so they cannot diverge on the mapping state
+// again.
+func (m *Machine) evictFrame(op *pageOp, n int) {
+	victim := m.pol.ChooseVictim(n)
 	flushed := m.flushFrame(op, n, victim)
 	op.charge(m.tm.PageOpCost(flushed))
 	m.pt.Entry(victim.Page).Mode[n] = memory.ModeCCNUMA

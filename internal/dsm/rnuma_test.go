@@ -114,7 +114,7 @@ func TestSCOMAWritesStayLocal(t *testing.T) {
 	m.pt.Entry(0).Mode[1] = memory.ModeCCNUMA
 	// Force a relocation of page 0 at node 1.
 	m.ref[1][0] = int32(m.th.RNUMAThreshold)
-	m.maybeRelocate(c4, 1, 0)
+	m.relocate(c4, 1, 0)
 	if m.PageMode(1, 0) != memory.ModeSCOMA {
 		t.Fatalf("page mode = %v, want scoma", m.PageMode(1, 0))
 	}
@@ -147,7 +147,7 @@ func TestFrameFlushWritesDirtyHome(t *testing.T) {
 	m.mapped[0][0], m.mapped[1][0] = true, true
 	m.pt.Entry(0).Mode[1] = memory.ModeCCNUMA
 	m.ref[1][0] = int32(m.th.RNUMAThreshold)
-	m.maybeRelocate(c4, 1, 0)
+	m.relocate(c4, 1, 0)
 	m.access(c4, 0, true) // dirty block in the frame
 	fr := m.pc[1].Entry(0)
 	if fr == nil || fr.Dirty == 0 {
@@ -207,7 +207,7 @@ func TestFrameEvictionFlushesAtEventTime(t *testing.T) {
 
 	// Relocate page 0 into node 1's single frame and dirty it.
 	m.ref[1][0] = int32(m.th.RNUMAThreshold)
-	m.maybeRelocate(c4, 1, 0)
+	m.relocate(c4, 1, 0)
 	if m.PageMode(1, 0) != memory.ModeSCOMA {
 		t.Fatalf("setup: page 0 mode = %v, want scoma", m.PageMode(1, 0))
 	}
@@ -222,7 +222,7 @@ func TestFrameEvictionFlushesAtEventTime(t *testing.T) {
 	c4.Clock = late
 	m.fabric.SetAuditFloor(late)
 	m.ref[1][1] = int32(m.th.RNUMAThreshold)
-	m.maybeRelocate(c4, 1, 1)
+	m.relocate(c4, 1, 1)
 
 	if got := m.fabric.Violations(); len(got) != 0 {
 		t.Errorf("flush injected in the simulated past: %v", got)
@@ -273,9 +273,9 @@ func TestStaticAndReactiveEvictionAgree(t *testing.T) {
 			m.mapSCOMA(c4, 1, 1) // evicts page 0
 		} else {
 			m.ref[1][0] = int32(m.th.RNUMAThreshold)
-			m.maybeRelocate(c4, 1, 0)
+			m.relocate(c4, 1, 0)
 			m.ref[1][1] = int32(m.th.RNUMAThreshold)
-			m.maybeRelocate(c4, 1, 1) // evicts page 0
+			m.relocate(c4, 1, 1) // evicts page 0
 		}
 		if m.Mapped(1, 0) {
 			t.Errorf("static=%v: victim still mapped after eviction", static)

@@ -4,11 +4,29 @@
 // finite, halved or infinite S-COMA page cache, and the R-NUMA+MigRep
 // integration.
 //
+// A memory system is described in three layers:
+//
+//   - Spec is the hardware configuration: cache sizes, which counter
+//     banks exist, which policy family is wired in. Spec.Validate
+//     rejects contradictory configurations at construction time.
+//   - Policy is the decision layer: the hooks (OnRemoteMiss,
+//     OnRemoteUpgrade, OnHomeMiss, OnPageMapped, ChooseVictim) the
+//     machine calls at the seams where the paper's systems differ.
+//     Spec.NewPolicy installs a custom Policy; nil derives the default
+//     composition (MigRep thresholds, R-NUMA refetch selection, static
+//     S-COMA placement) from the Spec's flags.
+//   - The registry (Register / Lookup / Systems) maps stable system
+//     names — "ccnuma", "migrep", "rnuma-half-migrep", ... — to Spec
+//     constructors, mirroring how internal/apps registers workloads.
+//     CLIs and the harness resolve systems exclusively by these names,
+//     so a new system (see ContentionMigRep) plugs in end to end
+//     without touching the fault-handling core.
+//
 // A single Machine executes a dependence-preserving application trace
-// under a configurable timing model, applying the per-system policy
-// described by a Spec. Every protocol message — fills, invalidations,
-// writebacks, page moves and replica grants — is routed over the
-// internal/interconnect fabric selected by the cluster's Net
+// under a configurable timing model, applying the Spec's hardware and
+// the Policy's decisions. Every protocol message — fills,
+// invalidations, writebacks, page moves and replica grants — is routed
+// over the internal/interconnect fabric selected by the cluster's Net
 // configuration, charging per-link traffic counters and, on multi-hop
 // or bandwidth-limited fabrics, hop latency and link queuing.
 //
@@ -19,7 +37,11 @@
 // runs and the internal/audit conservation checks afterwards.
 package dsm
 
-import "repro/internal/config"
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
 
 // Spec selects the remote-caching hardware and page-relocation policies
 // of one simulated system.
@@ -57,6 +79,40 @@ type Spec struct {
 	// S3.mp/ASCOMA-style policy the paper's related work contrasts
 	// R-NUMA against. Requires RNUMA.
 	AlwaysSCOMA bool
+
+	// NewPolicy, when non-nil, builds the machine's decision layer
+	// instead of the default Spec-derived composition. It is how a
+	// registered system installs a custom Policy (see
+	// ContentionMigRep) without any change to the protocol core.
+	NewPolicy func(Spec) Policy
+}
+
+// Validate rejects contradictory or meaningless configurations before
+// a Machine is built from them. NewMachine calls it, so a bad Spec
+// fails loudly instead of silently simulating something else.
+func (s Spec) Validate() error {
+	if s.BlockCacheBytes < 0 {
+		return fmt.Errorf("dsm: spec %q: negative block cache size %d", s.Name, s.BlockCacheBytes)
+	}
+	if s.PageCacheBytes < 0 {
+		return fmt.Errorf("dsm: spec %q: negative page cache size %d", s.Name, s.PageCacheBytes)
+	}
+	if s.PageCacheBytes > 0 && !s.RNUMA {
+		return fmt.Errorf("dsm: spec %q: PageCacheBytes set without RNUMA (no S-COMA hardware to use it)", s.Name)
+	}
+	if s.AlwaysSCOMA && !s.RNUMA {
+		return fmt.Errorf("dsm: spec %q: AlwaysSCOMA requires RNUMA (the page cache it maps into)", s.Name)
+	}
+	if s.RelocDelayMisses < 0 {
+		return fmt.Errorf("dsm: spec %q: negative relocation delay %d", s.Name, s.RelocDelayMisses)
+	}
+	if s.RelocDelayMisses > 0 && !s.RNUMA {
+		return fmt.Errorf("dsm: spec %q: RelocDelayMisses delays R-NUMA relocation but RNUMA is off", s.Name)
+	}
+	if s.RelocDelayMisses > 0 && !s.MigRep() {
+		return fmt.Errorf("dsm: spec %q: RelocDelayMisses gives migration/replication first shot at a page, but neither is enabled", s.Name)
+	}
+	return nil
 }
 
 // HasBlockCache reports whether the system includes a block cache.

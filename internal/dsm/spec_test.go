@@ -1,0 +1,50 @@
+package dsm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestSpecValidateRejectsContradictions(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // substring of the error
+	}{
+		{"negative block cache", Spec{Name: "x", BlockCacheBytes: -1}, "negative block cache"},
+		{"negative page cache", Spec{Name: "x", RNUMA: true, PageCacheBytes: -4096}, "negative page cache"},
+		{"page cache without rnuma", Spec{Name: "x", PageCacheBytes: 4096}, "without RNUMA"},
+		{"always-scoma without rnuma", Spec{Name: "x", AlwaysSCOMA: true}, "AlwaysSCOMA requires RNUMA"},
+		{"negative reloc delay", Spec{Name: "x", RNUMA: true, Migration: true, RelocDelayMisses: -5}, "negative relocation delay"},
+		{"reloc delay without rnuma", Spec{Name: "x", Migration: true, RelocDelayMisses: 10}, "RNUMA is off"},
+		{"reloc delay without migrep", Spec{Name: "x", RNUMA: true, RelocDelayMisses: 10}, "neither is enabled"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.spec.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", c.spec)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not contain %q", err, c.want)
+			}
+			// The same contradiction must be rejected at machine
+			// construction, not simulated silently.
+			if _, err := NewMachine(c.spec, config.DefaultCluster(), config.Default(),
+				config.DefaultThresholds(), 1<<20, "test"); err == nil {
+				t.Error("NewMachine accepted the invalid spec")
+			}
+		})
+	}
+}
+
+func TestSpecValidateAcceptsAllRegisteredSystems(t *testing.T) {
+	th := config.DefaultThresholds()
+	for _, info := range Systems() {
+		if err := info.New(th).Validate(); err != nil {
+			t.Errorf("%s: %v", info.Name, err)
+		}
+	}
+}

@@ -2,9 +2,21 @@
 // (base comparison), Table 4 (page operations and miss counts), Figure 6
 // (fast vs slow page operations), Figure 7 (4x network latency), and
 // Figure 8 (R-NUMA page-cache halving with MigRep integration). Each
-// experiment runs every application on the relevant systems, normalizes
-// execution time against perfect CC-NUMA, and renders the same rows the
-// paper reports.
+// experiment runs every application on its systems and normalizes
+// execution time against perfect CC-NUMA.
+//
+// Systems resolve through the dsm registry: every experiment has the
+// paper's default set, and Options.Systems overrides it with any list
+// of registered system names — including systems added after the
+// paper, such as the contention-aware "migrep-contend" — without the
+// harness knowing them individually.
+//
+// An experiment returns a structured Result: one record per (app,
+// system, fabric) run carrying normalized time, miss and page-op
+// breakdowns, traffic, and interconnect hot-link/bisection stats.
+// Rendering is separate from running: WriteText reproduces the
+// paper-style tables (locked byte-for-byte by the golden tests),
+// WriteCSV and WriteJSON emit the flat records for downstream tooling.
 //
 // The topology-sweep experiment ("toposweep") goes beyond the paper:
 // it re-runs the Figure 5 comparison across interconnect fabrics
@@ -35,6 +47,13 @@ type Options struct {
 	// Apps restricts the run to the named applications (nil = the
 	// paper's seven).
 	Apps []string
+
+	// Systems overrides the experiment's default system set with
+	// memory systems named in the dsm registry (nil = the experiment's
+	// own defaults). Overridden systems run under the experiment's
+	// base timing and thresholds; the topology sweep runs each named
+	// system on every fabric.
+	Systems []string
 
 	// Parallel runs the per-application system sets concurrently using
 	// this many workers (0 = serial). Simulations are deterministic and
@@ -84,15 +103,24 @@ func (o Options) appList() ([]apps.Info, error) {
 
 // Run is one simulation outcome.
 type Run struct {
-	App    string
+	App string
+	// System is the bare system name ("CC-NUMA"); Label is the run's
+	// presentation label, which may add the environment ("MigRep-Slow",
+	// "CC-NUMA@ring"). Results key their Runs maps by Label.
 	System string
+	Label  string
+	// Fabric is the interconnect topology the run used.
+	Fabric string
 	Stats  *stats.Sim
 	// Norm is execution time normalized to perfect CC-NUMA on the same
 	// application.
 	Norm float64
 }
 
-// Result is a completed experiment.
+// Result is a completed experiment: the structured records of every
+// (app, system, fabric) run, plus the metadata the renderers need.
+// WriteText reproduces the paper-style report, WriteCSV and WriteJSON
+// emit the flat Records for downstream tooling.
 type Result struct {
 	Name string
 	// Systems in presentation order.
@@ -101,6 +129,20 @@ type Result struct {
 	Runs map[string]map[string]*Run
 	// AppOrder preserves presentation order.
 	AppOrder []string
+
+	// render writes the experiment's text report; set by the
+	// experiment that produced the result.
+	render func(w io.Writer, r *Result)
+}
+
+// WriteText renders the experiment's text report (headers and tables,
+// exactly as the paper presents them) to w.
+func (r *Result) WriteText(w io.Writer) {
+	if r.render != nil {
+		r.render(w, r)
+		return
+	}
+	renderNormTable(w, r)
 }
 
 // Norm returns the normalized execution time for (app, system).
@@ -147,6 +189,26 @@ func (s systemRun) name() string {
 		return s.label
 	}
 	return s.spec.Name
+}
+
+// systemRuns resolves an Options.Systems override through the dsm
+// registry into runs under the given timing/threshold environment, or
+// returns the experiment's defaults when no override is set. Unknown
+// names fail with the registry's error, which lists every registered
+// system.
+func (o Options) systemRuns(def []systemRun, tm config.Timing, th config.Thresholds) ([]systemRun, error) {
+	if len(o.Systems) == 0 {
+		return def, nil
+	}
+	specs, err := dsm.ResolveSpecs(o.Systems, th)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	out := make([]systemRun, 0, len(specs))
+	for _, spec := range specs {
+		out = append(out, systemRun{spec: spec, tm: tm, th: th})
+	}
+	return out, nil
 }
 
 // runExperiment generates each app's trace once and replays it on every
@@ -196,8 +258,8 @@ func runExperiment(name string, systems []systemRun, o Options) (*Result, error)
 		for i, s := range systems {
 			sim := sims[i+1]
 			res.Runs[app.Name][s.name()] = &Run{
-				App: app.Name, System: s.name(), Stats: sim,
-				Norm: sim.Normalized(base),
+				App: app.Name, System: s.spec.Name, Label: s.name(), Fabric: s.net.Kind(),
+				Stats: sim, Norm: sim.Normalized(base),
 			}
 			if o.Verbose {
 				fmt.Fprintf(o.Out, "#   %-22s %8.3f (exec %d cycles)\n",

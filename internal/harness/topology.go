@@ -21,28 +21,41 @@ func topoSweepFabrics() []config.Network {
 	}
 }
 
-// topoSweepSystems lists the systems the sweep compares: the paper's
-// base CC-NUMA, the migration/replication kernel, and R-NUMA as the
-// fine-grain representative.
-func topoSweepSystems() []dsm.Spec {
-	return []dsm.Spec{dsm.CCNUMA(), dsm.MigRep(), dsm.RNUMA()}
+// topoSweepSystems lists the default sweep systems: the paper's base
+// CC-NUMA, the migration/replication kernel, and R-NUMA as the
+// fine-grain representative. An Options.Systems override replaces them
+// with any registered systems — the contention-aware "migrep-contend"
+// is the intended guest, since per-link load only matters here.
+func topoSweepSystems(o Options, th config.Thresholds) ([]dsm.Spec, error) {
+	if len(o.Systems) == 0 {
+		return []dsm.Spec{dsm.CCNUMA(), dsm.MigRep(), dsm.RNUMA()}, nil
+	}
+	specs, err := dsm.ResolveSpecs(o.Systems, th)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	return specs, nil
 }
 
 // topoLabel names one (system, fabric) combination in reports.
 func topoLabel(sys, topo string) string { return sys + "@" + topo }
 
 // TopoSweep re-runs the Figure 5 comparison across interconnect
-// fabrics: every system of topoSweepSystems on every fabric of
-// topoSweepFabrics, normalized to perfect CC-NUMA on the ideal
-// crossbar. Beyond execution time, it reports where the traffic lands:
-// the maximum per-link load and the bisection traffic of every run,
-// which is where migration/replication's bulk 4-KB page moves separate
-// from fine-grain 64-byte caching.
+// fabrics: every sweep system on every fabric of topoSweepFabrics,
+// normalized to perfect CC-NUMA on the ideal crossbar. Beyond
+// execution time, it reports where the traffic lands: the maximum
+// per-link load and the bisection traffic of every run, which is where
+// migration/replication's bulk 4-KB page moves separate from
+// fine-grain 64-byte caching.
 func TopoSweep(o Options) (*Result, error) {
 	tm, th := config.Default(), config.DefaultThresholds()
+	specs, err := topoSweepSystems(o, th)
+	if err != nil {
+		return nil, err
+	}
 	var systems []systemRun
 	for _, net := range topoSweepFabrics() {
-		for _, spec := range topoSweepSystems() {
+		for _, spec := range specs {
 			systems = append(systems, systemRun{
 				spec: spec, tm: tm, th: th,
 				label: topoLabel(spec.Name, net.Kind()),
@@ -50,47 +63,53 @@ func TopoSweep(o Options) (*Result, error) {
 			})
 		}
 	}
+	sysNames := make([]string, len(specs))
+	for i, spec := range specs {
+		sysNames[i] = spec.Name
+	}
 	r, err := runExperiment("toposweep", systems, o)
 	if err != nil {
 		return nil, err
 	}
-	header(o.Out, "Topology sweep: Figure 5 across interconnect fabrics")
-	for _, net := range topoSweepFabrics() {
-		fmt.Fprintf(o.Out, "-- %s (normalized execution time vs perfect CC-NUMA on crossbar)\n", net.Kind())
-		view := &Result{Name: r.Name, AppOrder: r.AppOrder, Runs: r.Runs}
-		for _, spec := range topoSweepSystems() {
-			view.Systems = append(view.Systems, topoLabel(spec.Name, net.Kind()))
+	r.render = func(w io.Writer, r *Result) {
+		header(w, "Topology sweep: Figure 5 across interconnect fabrics")
+		for _, net := range topoSweepFabrics() {
+			fmt.Fprintf(w, "-- %s (normalized execution time vs perfect CC-NUMA on crossbar)\n", net.Kind())
+			view := &Result{Name: r.Name, AppOrder: r.AppOrder, Runs: r.Runs}
+			for _, sys := range sysNames {
+				view.Systems = append(view.Systems, topoLabel(sys, net.Kind()))
+			}
+			renderNormTable(w, view)
+			fmt.Fprintln(w)
 		}
-		renderNormTable(o.Out, view)
-		fmt.Fprintln(o.Out)
+		renderLinkLoadTable(w, r, sysNames)
 	}
-	renderLinkLoadTable(o.Out, r)
+	r.WriteText(o.Out)
 	return r, nil
 }
 
 // renderLinkLoadTable prints, per application and fabric, the maximum
 // per-link load and the bisection traffic of every system, in KB.
-func renderLinkLoadTable(w io.Writer, r *Result) {
-	systems := topoSweepSystems()
+func renderLinkLoadTable(w io.Writer, r *Result, systems []string) {
 	fmt.Fprintln(w, "maximum per-link load / bisection traffic (KB)")
 	fmt.Fprintf(w, "%-10s %-9s", "app", "topology")
 	for _, s := range systems {
-		fmt.Fprintf(w, " %9s", s.Name)
+		fmt.Fprintf(w, " %9s", s)
 	}
 	fmt.Fprintf(w, " |")
 	for _, s := range systems {
-		fmt.Fprintf(w, " %9s", s.Name)
+		fmt.Fprintf(w, " %9s", s)
 	}
 	fmt.Fprintln(w)
 	for _, app := range r.AppOrder {
 		for _, net := range topoSweepFabrics() {
 			fmt.Fprintf(w, "%-10s %-9s", app, net.Kind())
 			for _, s := range systems {
-				fmt.Fprintf(w, " %9.0f", float64(netOf(r, app, s.Name, net).MaxLink().Bytes)/1024)
+				fmt.Fprintf(w, " %9.0f", float64(netOf(r, app, s, net).MaxLink().Bytes)/1024)
 			}
 			fmt.Fprintf(w, " |")
 			for _, s := range systems {
-				fmt.Fprintf(w, " %9.0f", float64(netOf(r, app, s.Name, net).BisectionBytes)/1024)
+				fmt.Fprintf(w, " %9.0f", float64(netOf(r, app, s, net).BisectionBytes)/1024)
 			}
 			fmt.Fprintln(w)
 		}

@@ -193,6 +193,29 @@ func (f *Fabric) TotalLinkBytes() int64 {
 // node coincided.
 func (f *Fabric) LocalBytes() int64 { return f.localBytes }
 
+// RouteMaxLinkBytes returns the byte counter of the most-loaded link on
+// the src->dst route (zero for node-local routes). Contention-aware
+// policies use it to ask whether the path a bulk transfer would take is
+// currently the fabric's hot spot.
+func (f *Fabric) RouteMaxLinkBytes(src, dst int) int64 {
+	var max int64
+	for _, id := range f.topo.Route(src, dst) {
+		if f.linkBytes[id] > max {
+			max = f.linkBytes[id]
+		}
+	}
+	return max
+}
+
+// MeanLinkBytes returns the mean per-link byte counter over every link
+// of the fabric (zero on a linkless single-node topology).
+func (f *Fabric) MeanLinkBytes() int64 {
+	if len(f.linkBytes) == 0 {
+		return 0
+	}
+	return f.TotalLinkBytes() / int64(len(f.linkBytes))
+}
+
 // PairBytes returns the injected bytes for one ordered node pair.
 func (f *Fabric) PairBytes(src, dst int) int64 { return f.pairBytes[src][dst] }
 

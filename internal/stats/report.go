@@ -2,7 +2,6 @@ package stats
 
 import (
 	"fmt"
-	"io"
 	"strings"
 )
 
@@ -30,35 +29,6 @@ func (s *Sim) PerNodeReport() string {
 	return b.String()
 }
 
-// WriteCSVHeader emits the column header matching WriteCSVRow.
-func WriteCSVHeader(w io.Writer) error {
-	_, err := fmt.Fprintln(w, "experiment,app,system,normalized,exec_cycles,"+
-		"remote_misses,cold,coherence,capacity_conflict,"+
-		"migrations,replications,collapses,relocations,replacements,"+
-		"upgrades,page_faults,traffic_bytes")
-	return err
-}
-
-// WriteCSVRow emits one machine-readable result row for downstream
-// plotting.
-func (s *Sim) WriteCSVRow(w io.Writer, experiment string, normalized float64) error {
-	var upgrades, faults int64
-	for i := range s.Nodes {
-		upgrades += s.Nodes[i].Upgrades
-		faults += s.Nodes[i].PageFaults
-	}
-	_, err := fmt.Fprintf(w, "%s,%s,%s,%.6f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
-		experiment, s.App, s.System, normalized, s.ExecCycles,
-		s.TotalRemoteMisses(),
-		s.RemoteMissesByClass(Cold),
-		s.RemoteMissesByClass(Coherence),
-		s.RemoteMissesByClass(CapacityConflict),
-		s.PageOpsByKind(Migration),
-		s.PageOpsByKind(Replication),
-		s.PageOpsByKind(Collapse),
-		s.PageOpsByKind(Relocation),
-		s.PageOpsByKind(Replacement),
-		upgrades, faults,
-		s.TotalTrafficBytes())
-	return err
-}
+// CSV rendering of experiment results lives in internal/harness
+// (Result.WriteCSV / WriteJSON), which flattens each run — including
+// its fabric and interconnect stats — into one Record per row.

@@ -1,7 +1,6 @@
 package stats
 
 import (
-	"bytes"
 	"strings"
 	"testing"
 )
@@ -18,31 +17,5 @@ func TestPerNodeReport(t *testing.T) {
 	}
 	if !strings.Contains(lines[1], "30") { // node 0 cap/conf
 		t.Errorf("node 0 row missing cap/conf count: %s", lines[1])
-	}
-}
-
-func TestCSVRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	if err := WriteCSVHeader(&buf); err != nil {
-		t.Fatal(err)
-	}
-	s := newSim()
-	if err := s.WriteCSVRow(&buf, "fig5", 1.5); err != nil {
-		t.Fatal(err)
-	}
-	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("got %d lines", len(lines))
-	}
-	header := strings.Split(lines[0], ",")
-	row := strings.Split(lines[1], ",")
-	if len(header) != len(row) {
-		t.Fatalf("header has %d fields, row has %d", len(header), len(row))
-	}
-	if row[0] != "fig5" || row[1] != "lu" || row[2] != "CC-NUMA" {
-		t.Errorf("row prefix = %v", row[:3])
-	}
-	if row[3] != "1.500000" {
-		t.Errorf("normalized = %s", row[3])
 	}
 }
