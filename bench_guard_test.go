@@ -1,0 +1,109 @@
+package repro
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// benchBaseline mirrors the fields of cmd/benchreport's output that the
+// guard needs.
+type benchBaseline struct {
+	Results []struct {
+		Name        string `json:"name"`
+		Guarded     bool   `json:"guarded"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+	} `json:"results"`
+}
+
+// latestBaseline returns the committed BENCH_*.json file with the
+// highest PR number, so the guard automatically tracks the newest
+// committed trajectory point without per-PR edits to this test.
+func latestBaseline(t *testing.T) string {
+	t.Helper()
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no committed BENCH_*.json baseline found (glob err: %v)", err)
+	}
+	best, bestNum := "", -1
+	for _, m := range matches {
+		numStr := strings.TrimSuffix(strings.TrimPrefix(m, "BENCH_"), ".json")
+		n, err := strconv.Atoi(numStr)
+		if err != nil {
+			continue
+		}
+		if n > bestNum {
+			best, bestNum = m, n
+		}
+	}
+	if best == "" {
+		t.Fatalf("no numeric BENCH_<pr>.json among %v", matches)
+	}
+	return best
+}
+
+// TestBenchAllocationGuard re-runs the guarded hot-path benchmarks
+// (cache probes, fault path per miss class, engine dispatch) and fails
+// if allocs/op regresses more than 20% over the newest committed
+// BENCH_<pr>.json baseline. ns/op is deliberately not guarded — wall
+// time varies with the host — but allocation counts are deterministic
+// for a fixed code path, so a jump means an allocation crept back into
+// a hot loop.
+//
+// Regenerate the baseline deliberately with:
+//
+//	go run ./cmd/benchreport -o BENCH_<pr>.json
+func TestBenchAllocationGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark guard in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("skipping benchmark guard under the race detector (instrumentation allocates)")
+	}
+	path := latestBaseline(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("unreadable benchmark baseline %s: %v", path, err)
+	}
+	t.Logf("guarding against %s", path)
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("bad baseline: %v", err)
+	}
+	baseline := map[string]int64{}
+	for _, r := range base.Results {
+		if r.Guarded {
+			baseline[r.Name] = r.AllocsPerOp
+		}
+	}
+	if len(baseline) == 0 {
+		t.Fatal("baseline contains no guarded benchmarks")
+	}
+
+	for _, c := range bench.Cases() {
+		if !c.Guarded {
+			continue
+		}
+		want, ok := baseline[c.Name]
+		if !ok {
+			t.Errorf("%s: no baseline entry (regenerate the BENCH file)", c.Name)
+			continue
+		}
+		r := testing.Benchmark(c.Bench)
+		got := r.AllocsPerOp()
+		// 20% headroom plus one absolute alloc, so zero-alloc baselines
+		// tolerate nothing but noise-level drift.
+		limit := want + want/5 + 1
+		if got > limit {
+			t.Errorf("%s: %d allocs/op, baseline %d (limit %d): an allocation crept into the hot path",
+				c.Name, got, want, limit)
+		} else {
+			t.Logf("%s: %d allocs/op (baseline %d)", c.Name, got, want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/bench"
 	"repro/internal/config"
 	"repro/internal/dsm"
 	"repro/internal/engine"
@@ -325,5 +326,16 @@ func BenchmarkRecorderAccess(b *testing.B) {
 	r := trace.NewRecorder()
 	for i := 0; i < b.N; i++ {
 		r.Access(memory.Addr(i*8), i%5 == 0)
+	}
+}
+
+// BenchmarkHotPath runs the shared internal/bench suite: cache probes,
+// the fault path per miss class, engine dispatch, and the Figure 5
+// macrobenchmark. cmd/benchreport runs the same bodies to produce the
+// committed BENCH_*.json baselines, and the allocation-regression guard
+// in bench_guard_test.go compares the guarded cases against them.
+func BenchmarkHotPath(b *testing.B) {
+	for _, c := range bench.Cases() {
+		b.Run(c.Name, c.Bench)
 	}
 }

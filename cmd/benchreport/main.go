@@ -1,0 +1,140 @@
+// Command benchreport runs the simulator's hot-path benchmark suite
+// (internal/bench) and writes the results as a machine-readable JSON
+// report — the perf trajectory file committed at the repo root as
+// BENCH_<pr>.json, which the allocation-regression guard in
+// bench_guard_test.go checks future changes against.
+//
+// Usage:
+//
+//	benchreport                         # full suite -> BENCH.json
+//	benchreport -o BENCH_4.json         # choose the output file
+//	benchreport -benchtime 2s           # longer runs, steadier numbers
+//	benchreport -benchtime 3x -micro    # quick pass, no macrobenchmark
+//
+// Each entry carries ns/op, bytes/op and allocs/op; benchmarks that
+// report a sim-cycles metric additionally get sim_cycles_per_sec, the
+// simulated-cycles-per-wall-second throughput headline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// Report is the emitted JSON document.
+type Report struct {
+	Schema    string  `json:"schema"`
+	Created   string  `json:"created"`
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	Benchtime string  `json:"benchtime"`
+	Results   []Entry `json:"results"`
+}
+
+// Entry is one benchmark's outcome.
+type Entry struct {
+	Name        string `json:"name"`
+	Guarded     bool   `json:"guarded"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+
+	// Metrics carries the benchmark's custom units (trace-ops,
+	// sim-cycles, norm-<system>...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	// SimCyclesPerSec is derived from the sim-cycles metric: how many
+	// simulated cycles one wall-clock second buys.
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec,omitempty"`
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH.json", "output file")
+		benchtime = flag.String("benchtime", "1s", "per-benchmark budget (duration or Nx iterations)")
+		microOnly = flag.Bool("micro", false, "skip the full-sweep macrobenchmark")
+		verbose   = flag.Bool("v", true, "print results as they complete")
+	)
+	// testing.Benchmark reads the frameworks's -test.* flags; register
+	// them so the benchtime budget can be set programmatically.
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fail(fmt.Errorf("benchreport: bad -benchtime: %w", err))
+	}
+
+	rep := Report{
+		Schema:    "repro-bench-report/v1",
+		Created:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Benchtime: *benchtime,
+	}
+
+	for _, c := range bench.Cases() {
+		if c.Macro && *microOnly {
+			continue
+		}
+		r := testing.Benchmark(c.Bench)
+		if r.N == 0 {
+			// testing.Benchmark swallows b.Fatal and returns a zero
+			// result; writing it would publish bogus numbers (or, on a
+			// baseline regeneration, commit zero-alloc guards that every
+			// later run trips over).
+			fail(fmt.Errorf("benchreport: benchmark %s failed (zero iterations); not writing a report", c.Name))
+		}
+		e := Entry{
+			Name:        c.Name,
+			Guarded:     c.Guarded,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			e.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				e.Metrics[k] = v
+			}
+		}
+		if cyc, ok := r.Extra["sim-cycles"]; ok && r.NsPerOp() > 0 {
+			e.SimCyclesPerSec = cyc * 1e9 / float64(r.NsPerOp())
+		}
+		if *verbose {
+			fmt.Printf("%-22s %12d ns/op %8d B/op %6d allocs/op", c.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+			if e.SimCyclesPerSec > 0 {
+				fmt.Printf("  %.3g sim-cycles/s", e.SimCyclesPerSec)
+			}
+			fmt.Println()
+		}
+		rep.Results = append(rep.Results, e)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+	if *verbose {
+		fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Results))
+	}
+}

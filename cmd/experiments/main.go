@@ -11,6 +11,7 @@
 //	experiments -json results.json -csv results.csv
 //	experiments -experiment params          # print the encoded Tables 2 and 3
 //	experiments -list-systems               # print the memory-system registry
+//	experiments -cpuprofile cpu.out -memprofile mem.out   # ad-hoc profiling
 //
 // Systems resolve through the dsm registry, so -systems accepts any
 // registered name — including systems that postdate the paper, such as
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/apps"
@@ -64,12 +66,17 @@ func printSystems() {
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+// main delegates to run so that run's defers — in particular stopping
+// and flushing the profiles — execute on every exit path, including
+// errors. os.Exit lives only here.
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
-func main() {
+func run() error {
 	var (
 		exp         = flag.String("experiment", "all", "experiment: fig5, table4, fig6, fig7, fig8, toposweep, params, all")
 		scale       = flag.Int("scale", 1, "problem-size divisor (1 = full size)")
@@ -81,16 +88,48 @@ func main() {
 		csvPath     = flag.String("csv", "", "also write machine-readable CSV rows to this file")
 		jsonPath    = flag.String("json", "", "also write the structured records as JSON to this file")
 		listSystems = flag.Bool("list-systems", false, "list the registered memory systems and exit")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Registered after the CPU-profile defers, so the heap snapshot
+		// is taken (and the file written) before StopCPUProfile flushes;
+		// a failure here must not lose the run's results, so it only
+		// warns.
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
+
 	if *listSystems {
 		printSystems()
-		return
+		return nil
 	}
 	if *exp == "params" {
 		printParams()
-		return
+		return nil
 	}
 
 	o := harness.Options{
@@ -98,6 +137,7 @@ func main() {
 		Parallel: *parallel,
 		Verbose:  *verbose,
 		Audit:    *audit,
+		Traces:   harness.NewTraceCache(), // generate each workload once across experiments
 		Out:      os.Stdout,
 	}
 	if *appsFlag != "" {
@@ -111,11 +151,11 @@ func main() {
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		defer f.Close()
 		if err := harness.WriteCSVHeader(f); err != nil {
-			fail(err)
+			return err
 		}
 		csvFile = f
 	}
@@ -128,11 +168,11 @@ func main() {
 	for _, n := range names {
 		r, err := harness.RunByName(n, o)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if csvFile != nil {
 			if err := r.WriteCSVRows(csvFile); err != nil {
-				fail(err)
+				return err
 			}
 		}
 		if *jsonPath != "" {
@@ -143,10 +183,11 @@ func main() {
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(records, "", "  ")
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
-			fail(err)
+			return err
 		}
 	}
+	return nil
 }

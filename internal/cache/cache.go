@@ -3,6 +3,12 @@
 // L1, the per-node set-associative SRAM block cache of CC-NUMA cluster
 // devices, and the per-node page-grain S-COMA page cache of R-NUMA with
 // its fine-grain block-presence tags.
+//
+// The structures are probed on every simulated memory access, so they are
+// built for the replay hot path: flat arrays indexed by set or by
+// block/page number, no map lookups, and no steady-state allocation. The
+// sized constructors (NewInfiniteBlockCacheSized, NewPageCacheSized) take
+// the trace footprint so the index arrays are allocated once up front.
 package cache
 
 import (
@@ -119,16 +125,24 @@ func (c *L1) Invalidate(b memory.Block) (present, dirty bool) {
 // BlockCache is the per-node CC-NUMA cluster (remote/block) cache: N-way
 // set associative with LRU replacement. An infinite variant (Ways == 0)
 // backs the perfect-CC-NUMA baseline.
+//
+// The finite variant stores all sets in two flat arrays (ways
+// consecutive slots per set, MRU first); the infinite variant stores the
+// per-block state in a slice indexed by block number, grown on demand —
+// no map on the probe path either way.
 type BlockCache struct {
 	sets uint64
 	ways int
 
-	// finite representation
-	tags  [][]memory.Block
-	state [][]LineState
+	// finite representation: slot s*ways+i is way i of set s, ordered
+	// MRU to LRU; size[s] is the set's occupancy.
+	tags  []memory.Block
+	state []LineState
+	size  []uint8
 
-	// infinite representation
-	inf map[memory.Block]LineState
+	// infinite representation: state indexed by block number.
+	infinite bool
+	inf      []LineState
 }
 
 // NewBlockCache builds a block cache of the given total size and
@@ -139,39 +153,64 @@ func NewBlockCache(bytes, ways int) *BlockCache {
 	if sets == 0 || sets&(sets-1) != 0 {
 		panic("cache: block cache sets must be a power of two")
 	}
-	c := &BlockCache{sets: sets, ways: ways}
-	c.tags = make([][]memory.Block, sets)
-	c.state = make([][]LineState, sets)
-	for i := range c.tags {
-		c.tags[i] = make([]memory.Block, 0, ways)
-		c.state[i] = make([]LineState, 0, ways)
+	if ways > 255 {
+		panic("cache: block cache associativity exceeds 255")
 	}
-	return c
+	return &BlockCache{
+		sets:  sets,
+		ways:  ways,
+		tags:  make([]memory.Block, int(sets)*ways),
+		state: make([]LineState, int(sets)*ways),
+		size:  make([]uint8, sets),
+	}
 }
 
 // NewInfiniteBlockCache builds the perfect-CC-NUMA block cache: unbounded
 // capacity, no evictions.
 func NewInfiniteBlockCache() *BlockCache {
-	return &BlockCache{inf: make(map[memory.Block]LineState)}
+	return NewInfiniteBlockCacheSized(0)
+}
+
+// NewInfiniteBlockCacheSized builds the unbounded block cache with its
+// state array preallocated for the given number of blocks (the trace
+// footprint); probing any block below that bound never allocates.
+func NewInfiniteBlockCacheSized(blocks int) *BlockCache {
+	return &BlockCache{infinite: true, inf: make([]LineState, blocks)}
 }
 
 // Infinite reports whether the cache is the unbounded variant.
-func (c *BlockCache) Infinite() bool { return c.inf != nil }
+func (c *BlockCache) Infinite() bool { return c.infinite }
 
 func (c *BlockCache) set(b memory.Block) uint64 { return uint64(b) & (c.sets - 1) }
+
+// grow extends the infinite state array to cover block b.
+func (c *BlockCache) grow(b memory.Block) {
+	need := int(b) + 1
+	if cap(c.inf) >= need {
+		c.inf = c.inf[:need]
+		return
+	}
+	bigger := make([]LineState, need, need+need/2)
+	copy(bigger, c.inf)
+	c.inf = bigger
+}
 
 // Lookup returns the block's state, promoting it to most-recently-used on
 // a hit.
 func (c *BlockCache) Lookup(b memory.Block) LineState {
-	if c.inf != nil {
-		return c.inf[b]
+	if c.infinite {
+		if int(b) < len(c.inf) {
+			return c.inf[b]
+		}
+		return Invalid
 	}
 	s := c.set(b)
-	tags := c.tags[s]
-	for i, t := range tags {
-		if t == b {
-			st := c.state[s][i]
-			c.promote(s, i)
+	base := int(s) * c.ways
+	n := int(c.size[s])
+	for i := 0; i < n; i++ {
+		if c.tags[base+i] == b {
+			st := c.state[base+i]
+			c.promote(base, i)
 			return st
 		}
 	}
@@ -180,78 +219,85 @@ func (c *BlockCache) Lookup(b memory.Block) LineState {
 
 // Probe returns the block's state without touching LRU order.
 func (c *BlockCache) Probe(b memory.Block) LineState {
-	if c.inf != nil {
-		return c.inf[b]
+	if c.infinite {
+		if int(b) < len(c.inf) {
+			return c.inf[b]
+		}
+		return Invalid
 	}
 	s := c.set(b)
-	for i, t := range c.tags[s] {
-		if t == b {
-			return c.state[s][i]
+	base := int(s) * c.ways
+	n := int(c.size[s])
+	for i := 0; i < n; i++ {
+		if c.tags[base+i] == b {
+			return c.state[base+i]
 		}
 	}
 	return Invalid
 }
 
-// promote moves way i of set s to the MRU position (index 0).
-func (c *BlockCache) promote(s uint64, i int) {
+// promote moves slot base+i to the MRU position (base).
+func (c *BlockCache) promote(base, i int) {
 	if i == 0 {
 		return
 	}
-	tags, states := c.tags[s], c.state[s]
-	t, st := tags[i], states[i]
-	copy(tags[1:i+1], tags[0:i])
-	copy(states[1:i+1], states[0:i])
-	tags[0], states[0] = t, st
+	t, st := c.tags[base+i], c.state[base+i]
+	copy(c.tags[base+1:base+i+1], c.tags[base:base+i])
+	copy(c.state[base+1:base+i+1], c.state[base:base+i])
+	c.tags[base], c.state[base] = t, st
 }
 
 // Insert places block b, returning the LRU victim if the set was full.
 // Inserting a resident block refreshes its state and LRU position.
 func (c *BlockCache) Insert(b memory.Block, st LineState) Victim {
-	if c.inf != nil {
+	if c.infinite {
+		if int(b) >= len(c.inf) {
+			c.grow(b)
+		}
 		c.inf[b] = st
 		return Victim{}
 	}
 	s := c.set(b)
-	for i, t := range c.tags[s] {
-		if t == b {
-			c.state[s][i] = st
-			c.promote(s, i)
+	base := int(s) * c.ways
+	n := int(c.size[s])
+	for i := 0; i < n; i++ {
+		if c.tags[base+i] == b {
+			c.state[base+i] = st
+			c.promote(base, i)
 			return Victim{}
 		}
 	}
-	if len(c.tags[s]) < c.ways {
-		c.tags[s] = append(c.tags[s], 0)
-		c.state[s] = append(c.state[s], Invalid)
-	} else {
+	var v Victim
+	if n == c.ways {
 		// evict LRU (last slot)
-		last := c.ways - 1
-		v := Victim{Block: c.tags[s][last], Dirty: c.state[s][last] == Modified, Valid: true}
-		copy(c.tags[s][1:], c.tags[s][:last])
-		copy(c.state[s][1:], c.state[s][:last])
-		c.tags[s][0], c.state[s][0] = b, st
-		return v
+		last := base + c.ways - 1
+		v = Victim{Block: c.tags[last], Dirty: c.state[last] == Modified, Valid: true}
+		n--
+	} else {
+		c.size[s]++
 	}
 	// shift and place at MRU
-	tags, states := c.tags[s], c.state[s]
-	copy(tags[1:], tags[:len(tags)-1])
-	copy(states[1:], states[:len(states)-1])
-	tags[0], states[0] = b, st
-	return Victim{}
+	copy(c.tags[base+1:base+n+1], c.tags[base:base+n])
+	copy(c.state[base+1:base+n+1], c.state[base:base+n])
+	c.tags[base], c.state[base] = b, st
+	return v
 }
 
 // SetState updates the state of a resident block; it is a no-op if the
 // block is absent.
 func (c *BlockCache) SetState(b memory.Block, st LineState) {
-	if c.inf != nil {
-		if _, ok := c.inf[b]; ok {
+	if c.infinite {
+		if int(b) < len(c.inf) && c.inf[b] != Invalid {
 			c.inf[b] = st
 		}
 		return
 	}
 	s := c.set(b)
-	for i, t := range c.tags[s] {
-		if t == b {
-			c.state[s][i] = st
+	base := int(s) * c.ways
+	n := int(c.size[s])
+	for i := 0; i < n; i++ {
+		if c.tags[base+i] == b {
+			c.state[base+i] = st
 			return
 		}
 	}
@@ -259,23 +305,23 @@ func (c *BlockCache) SetState(b memory.Block, st LineState) {
 
 // Invalidate removes block b, reporting presence and dirtiness.
 func (c *BlockCache) Invalidate(b memory.Block) (present, dirty bool) {
-	if c.inf != nil {
-		st, ok := c.inf[b]
-		if !ok || st == Invalid {
+	if c.infinite {
+		if int(b) >= len(c.inf) || c.inf[b] == Invalid {
 			return false, false
 		}
-		delete(c.inf, b)
-		return true, st == Modified
+		dirty = c.inf[b] == Modified
+		c.inf[b] = Invalid
+		return true, dirty
 	}
 	s := c.set(b)
-	for i, t := range c.tags[s] {
-		if t == b && c.state[s][i] != Invalid {
-			dirty := c.state[s][i] == Modified
-			last := len(c.tags[s]) - 1
-			copy(c.tags[s][i:], c.tags[s][i+1:last+1])
-			copy(c.state[s][i:], c.state[s][i+1:last+1])
-			c.tags[s] = c.tags[s][:last]
-			c.state[s] = c.state[s][:last]
+	base := int(s) * c.ways
+	n := int(c.size[s])
+	for i := 0; i < n; i++ {
+		if c.tags[base+i] == b && c.state[base+i] != Invalid {
+			dirty = c.state[base+i] == Modified
+			copy(c.tags[base+i:base+n-1], c.tags[base+i+1:base+n])
+			copy(c.state[base+i:base+n-1], c.state[base+i+1:base+n])
+			c.size[s]--
 			return true, dirty
 		}
 	}
@@ -310,20 +356,38 @@ func popcount(x uint64) int {
 // PageCache is the per-node S-COMA page cache: a set of page frames with
 // LRU replacement at page granularity and per-block presence tags. A
 // capacity of zero pages means unbounded (R-NUMA-Inf).
+//
+// Frames are indexed by page number in a flat array (no map on the probe
+// path), and the most recently freed frame is recycled by the next
+// Allocate, so steady-state replacement allocates nothing. A frame
+// returned by EvictLRU or Remove is therefore only valid until the next
+// Allocate on the same cache.
 type PageCache struct {
 	capacity int // pages; 0 = unbounded
-	entries  map[memory.Page]*PageEntry
+	entries  []*PageEntry
+	resident int
 
 	// LRU list: head is MRU, tail is LRU.
 	head, tail *PageEntry
+
+	// spare is the most recently evicted/removed frame, recycled by
+	// Allocate.
+	spare *PageEntry
 }
 
 // NewPageCache builds a page cache holding the given number of bytes
 // worth of page frames. bytes = 0 builds the unbounded variant.
 func NewPageCache(bytes int) *PageCache {
+	return NewPageCacheSized(bytes, 0)
+}
+
+// NewPageCacheSized is NewPageCache with the frame index preallocated
+// for the given number of pages (the trace footprint), so probing any
+// page below that bound never allocates.
+func NewPageCacheSized(bytes, pages int) *PageCache {
 	return &PageCache{
 		capacity: bytes / config.PageBytes,
-		entries:  make(map[memory.Page]*PageEntry),
+		entries:  make([]*PageEntry, pages),
 	}
 }
 
@@ -334,15 +398,20 @@ func (c *PageCache) Infinite() bool { return c.capacity == 0 }
 func (c *PageCache) Capacity() int { return c.capacity }
 
 // Len returns the number of resident pages.
-func (c *PageCache) Len() int { return len(c.entries) }
+func (c *PageCache) Len() int { return c.resident }
 
 // Entry returns the frame for page p, or nil, without touching LRU
 // order.
-func (c *PageCache) Entry(p memory.Page) *PageEntry { return c.entries[p] }
+func (c *PageCache) Entry(p memory.Page) *PageEntry {
+	if int(p) < len(c.entries) {
+		return c.entries[p]
+	}
+	return nil
+}
 
 // Touch promotes page p to MRU, returning its frame (nil if absent).
 func (c *PageCache) Touch(p memory.Page) *PageEntry {
-	e := c.entries[p]
+	e := c.Entry(p)
 	if e == nil {
 		return nil
 	}
@@ -352,18 +421,21 @@ func (c *PageCache) Touch(p memory.Page) *PageEntry {
 
 // Full reports whether an allocation would require an eviction.
 func (c *PageCache) Full() bool {
-	return c.capacity != 0 && len(c.entries) >= c.capacity
+	return c.capacity != 0 && c.resident >= c.capacity
 }
 
 // EvictLRU removes and returns the least-recently-used frame, or nil if
-// the cache is empty.
+// the cache is empty. The returned frame is valid until the next
+// Allocate.
 func (c *PageCache) EvictLRU() *PageEntry {
 	e := c.tail
 	if e == nil {
 		return nil
 	}
 	c.remove(e)
-	delete(c.entries, e.Page)
+	c.entries[e.Page] = nil
+	c.resident--
+	c.spare = e
 	return e
 }
 
@@ -371,27 +443,42 @@ func (c *PageCache) EvictLRU() *PageEntry {
 // must have made room first (Full + EvictLRU); if the cache is full,
 // Allocate panics.
 func (c *PageCache) Allocate(p memory.Page) *PageEntry {
-	if c.entries[p] != nil {
+	if c.Entry(p) != nil {
 		panic("cache: page already resident")
 	}
 	if c.Full() {
 		panic("cache: allocate into full page cache")
 	}
-	e := &PageEntry{Page: p}
+	if int(p) >= len(c.entries) {
+		bigger := make([]*PageEntry, int(p)+1)
+		copy(bigger, c.entries)
+		c.entries = bigger
+	}
+	e := c.spare
+	if e != nil {
+		c.spare = nil
+		*e = PageEntry{Page: p}
+	} else {
+		e = &PageEntry{Page: p}
+	}
 	c.entries[p] = e
+	c.resident++
 	c.pushFront(e)
 	return e
 }
 
 // Remove deletes page p's frame outright (used when a page migrates away
-// or is gathered), returning it (nil if absent).
+// or is gathered), returning it (nil if absent). The returned frame is
+// valid until the next Allocate.
 func (c *PageCache) Remove(p memory.Page) *PageEntry {
-	e := c.entries[p]
+	e := c.Entry(p)
 	if e == nil {
 		return nil
 	}
 	c.remove(e)
-	delete(c.entries, p)
+	c.entries[p] = nil
+	c.resident--
+	c.spare = e
 	return e
 }
 

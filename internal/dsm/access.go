@@ -1,6 +1,8 @@
 package dsm
 
 import (
+	"math/bits"
+
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/directory"
@@ -48,10 +50,8 @@ func (m *Machine) ackWaveLatency(h int, mask uint64) int64 {
 // where the flat one-network-latency charge already covers the wave.
 func (m *Machine) ackWaveExtra(h int, mask uint64) int64 {
 	var max int64
-	for s := 0; s < m.cl.Nodes; s++ {
-		if mask&(1<<uint(s)) == 0 {
-			continue
-		}
+	for ; mask != 0; mask &= mask - 1 {
+		s := bits.TrailingZeros64(mask)
 		if x := m.forwardExtra(h, s); x > max {
 			max = x
 		}
@@ -194,14 +194,17 @@ func (m *Machine) upgrade(c *engine.CPU, n int, b memory.Block) {
 		ns.StallCycles += end - c.Clock
 		c.Clock = end
 	}
-	// Invalidate sibling L1 copies on this node.
-	lo, hi := m.cpusOf(n)
-	for i := lo; i < hi; i++ {
-		if i == c.ID {
-			continue
-		}
-		if present, _ := m.l1[i].Invalidate(b); present {
-			m.l1count[n][b]--
+	// Invalidate sibling L1 copies on this node (the upgrading CPU's own
+	// copy accounts for one of the node's counted copies).
+	if m.l1count[n][b] > 1 {
+		lo, hi := m.cpusOf(n)
+		for i := lo; i < hi; i++ {
+			if i == c.ID {
+				continue
+			}
+			if present, _ := m.l1[i].Invalidate(b); present {
+				m.l1count[n][b]--
+			}
 		}
 	}
 	m.dir.SetOwner(b, n)
@@ -228,10 +231,8 @@ func (m *Machine) upgrade(c *engine.CPU, n int, b memory.Block) {
 // the h<->s links; dirty data accompanies the ack back to home memory.
 func (m *Machine) invalidateSharers(n, h int, b memory.Block, mask uint64, t int64) {
 	ns := &m.st.Nodes[n]
-	for s := 0; s < m.cl.Nodes; s++ {
-		if mask&(1<<uint(s)) == 0 || s == n {
-			continue
-		}
+	for mask &^= 1 << uint(n); mask != 0; mask &= mask - 1 {
+		s := bits.TrailingZeros64(mask)
 		m.ni[s].Acquire(t, m.tm.NIOccupancy)
 		present, dirty := m.invalidateOnNode(s, b, true)
 		m.fabric.Deliver(h, s, msgHeaderBytes, t)
@@ -424,19 +425,20 @@ func (m *Machine) retrieveDirty(n, owner int, b memory.Block, write bool) {
 func (m *Machine) completeFill(c *engine.CPU, n int, b memory.Block, write bool) {
 	if write {
 		inv := m.dir.SetOwner(b, n)
-		for s := 0; s < m.cl.Nodes; s++ {
-			if inv&(1<<uint(s)) != 0 && s != n {
-				m.invalidateOnNode(s, b, true)
-			}
+		for mask := inv &^ (1 << uint(n)); mask != 0; mask &= mask - 1 {
+			m.invalidateOnNode(bits.TrailingZeros64(mask), b, true)
 		}
-		// Intra-node: sibling L1s lose their copies.
-		lo, hi := m.cpusOf(n)
-		for i := lo; i < hi; i++ {
-			if i == c.ID {
-				continue
-			}
-			if present, _ := m.l1[i].Invalidate(b); present {
-				m.l1count[n][b]--
+		// Intra-node: sibling L1s lose their copies (the filling CPU does
+		// not hold the block yet, so any counted copy is a sibling's).
+		if m.l1count[n][b] > 0 {
+			lo, hi := m.cpusOf(n)
+			for i := lo; i < hi; i++ {
+				if i == c.ID {
+					continue
+				}
+				if present, _ := m.l1[i].Invalidate(b); present {
+					m.l1count[n][b]--
+				}
 			}
 		}
 	} else {

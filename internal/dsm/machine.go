@@ -61,6 +61,10 @@ type Machine struct {
 	locks   map[uint64]*engine.Lock
 	lockOwn map[uint64]int // last node to hold the lock
 
+	// cpuNode maps CPU id to node, replacing a division on every
+	// dispatched op.
+	cpuNode []int32
+
 	bus  []*engine.Resource // per node memory bus
 	ni   []*engine.Resource // per node network interface
 	home []*engine.Resource // per node home protocol controller
@@ -95,6 +99,12 @@ type Machine struct {
 	remoteFixed int64
 
 	phaseDone bool
+
+	// opScratch is the reusable page-operation carrier handed out by
+	// beginPageOp: page operations never overlap (each runs to
+	// completion inside the access that triggered it), so one scratch
+	// object per machine removes the per-operation allocation.
+	opScratch pageOp
 
 	// Audit mode (see EnableAudit): the machine checks event-time
 	// discipline as it runs — scheduler dispatch order, the page-busy
@@ -136,30 +146,42 @@ func NewMachine(spec Spec, cl config.Cluster, tm config.Timing, th config.Thresh
 		dir:       directory.New(numBlocks, cl.Nodes),
 		st:        stats.New(spec.Name, app, cl.Nodes),
 	}
+	m.pt.Presize(int(numPages))
 	m.sched = engine.NewScheduler(cl.TotalCPUs())
 	m.barrier = engine.NewBarrier(cl.TotalCPUs(), tm.LocalMiss)
+	m.cpuNode = make([]int32, cl.TotalCPUs())
+	for i := range m.cpuNode {
+		m.cpuNode[i] = int32(i / cl.CPUsPerNode)
+	}
 	fab, err := interconnect.New(cl.Net, cl.Nodes, tm)
 	if err != nil {
 		return nil, err
 	}
 	m.fabric = fab
 
-	m.bus = make([]*engine.Resource, cl.Nodes)
-	m.ni = make([]*engine.Resource, cl.Nodes)
-	m.home = make([]*engine.Resource, cl.Nodes)
+	m.bus = engine.NewResourceBank("bus", cl.Nodes)
+	m.ni = engine.NewResourceBank("ni", cl.Nodes)
+	m.home = engine.NewResourceBank("home", cl.Nodes)
 	m.l1count = make([][]uint8, cl.Nodes)
 	m.flags = make([][]uint8, cl.Nodes)
 	m.mapped = make([][]bool, cl.Nodes)
 	m.ref = make([][]int32, cl.Nodes)
+	// The per-node state tables share one backing array per table, so a
+	// machine costs a handful of allocations instead of several per node.
+	nb, np := int(numBlocks), int(numPages)
+	l1flat := make([]uint8, cl.Nodes*nb)
+	flagflat := make([]uint8, cl.Nodes*nb)
+	mapflat := make([]bool, cl.Nodes*np)
+	var refflat []int32
+	if spec.RNUMA {
+		refflat = make([]int32, cl.Nodes*np)
+	}
 	for n := 0; n < cl.Nodes; n++ {
-		m.bus[n] = engine.NewResource(fmt.Sprintf("bus%d", n))
-		m.ni[n] = engine.NewResource(fmt.Sprintf("ni%d", n))
-		m.home[n] = engine.NewResource(fmt.Sprintf("home%d", n))
-		m.l1count[n] = make([]uint8, numBlocks)
-		m.flags[n] = make([]uint8, numBlocks)
-		m.mapped[n] = make([]bool, numPages)
+		m.l1count[n] = l1flat[n*nb : (n+1)*nb : (n+1)*nb]
+		m.flags[n] = flagflat[n*nb : (n+1)*nb : (n+1)*nb]
+		m.mapped[n] = mapflat[n*np : (n+1)*np : (n+1)*np]
 		if spec.RNUMA {
-			m.ref[n] = make([]int32, numPages)
+			m.ref[n] = refflat[n*np : (n+1)*np : (n+1)*np]
 		}
 	}
 	m.pageBusy = make([]int64, numPages)
@@ -176,7 +198,7 @@ func NewMachine(spec Spec, cl config.Cluster, tm config.Timing, th config.Thresh
 	if spec.InfiniteBlockCache {
 		m.bc = make([]*cache.BlockCache, cl.Nodes)
 		for n := range m.bc {
-			m.bc[n] = cache.NewInfiniteBlockCache()
+			m.bc[n] = cache.NewInfiniteBlockCacheSized(nb)
 		}
 	} else if spec.BlockCacheBytes > 0 {
 		m.bc = make([]*cache.BlockCache, cl.Nodes)
@@ -187,7 +209,7 @@ func NewMachine(spec Spec, cl config.Cluster, tm config.Timing, th config.Thresh
 	if spec.RNUMA {
 		m.pc = make([]*cache.PageCache, cl.Nodes)
 		for n := range m.pc {
-			m.pc[n] = cache.NewPageCache(spec.PageCacheBytes)
+			m.pc[n] = cache.NewPageCacheSized(spec.PageCacheBytes, np)
 		}
 	}
 	newPolicy := spec.NewPolicy
@@ -256,7 +278,7 @@ func (m *Machine) setPageBusy(p memory.Page, t int64) {
 func (m *Machine) Fabric() *interconnect.Fabric { return m.fabric }
 
 // nodeOf returns the node a CPU belongs to.
-func (m *Machine) nodeOf(cpu int) int { return cpu / m.cl.CPUsPerNode }
+func (m *Machine) nodeOf(cpu int) int { return int(m.cpuNode[cpu]) }
 
 // cpusOf returns the CPU id range [lo, hi) of a node.
 func (m *Machine) cpusOf(node int) (lo, hi int) {
@@ -267,7 +289,9 @@ func (m *Machine) cpusOf(node int) (lo, hi int) {
 func (m *Machine) migCounter(p memory.Page) *mrCounter {
 	c := m.mig[p]
 	if c == nil {
-		c = &mrCounter{read: make([]int32, m.cl.Nodes), write: make([]int32, m.cl.Nodes)}
+		n := m.cl.Nodes
+		rw := make([]int32, 2*n)
+		c = &mrCounter{read: rw[:n:n], write: rw[n:]}
 		m.mig[p] = c
 	}
 	return c

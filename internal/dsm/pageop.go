@@ -25,9 +25,14 @@ type pageOp struct {
 
 // beginPageOp opens a page operation for CPU c on node, anchored at the
 // CPU's current clock. The caller must have waited out any page-busy
-// horizon first (access does this for every trace op).
+// horizon first (access does this for every trace op). Page operations
+// run to completion before the next one can begin, so the machine hands
+// out one reusable scratch carrier instead of allocating per operation;
+// the returned pageOp is valid until the next beginPageOp.
 func (m *Machine) beginPageOp(c *engine.CPU, node int) *pageOp {
-	return &pageOp{m: m, c: c, node: node, start: c.Clock, now: c.Clock}
+	op := &m.opScratch
+	op.m, op.c, op.node, op.start, op.now = m, c, node, c.Clock, c.Clock
+	return op
 }
 
 // charge advances the operation's event time by cost cycles of page

@@ -48,6 +48,12 @@ func RunWithOptions(tr *trace.Trace, spec Spec, cl config.Cluster, tm config.Tim
 }
 
 // Execute replays the trace to completion on the machine.
+//
+// The dispatch loop uses the scheduler's in-place cycle (Peek/Requeue/
+// Park/Retire): the earliest CPU stays in the heap while its op runs and
+// a single sift restores order afterwards, instead of a full pop and
+// push per trace op. Dispatch order is identical either way — the heap
+// always surfaces the unique (Clock, ID) minimum.
 func (m *Machine) Execute(tr *trace.Trace) error {
 	if tr.NumCPUs() != m.cl.TotalCPUs() {
 		return fmt.Errorf("dsm: trace has %d cpus, machine has %d", tr.NumCPUs(), m.cl.TotalCPUs())
@@ -56,13 +62,13 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 	sched := m.sched
 
 	for !sched.Done() {
-		c := sched.Next()
+		c := sched.Peek()
 		if c == nil {
 			return fmt.Errorf("dsm: deadlock: no runnable cpu (%s)", tr.Name)
 		}
 		ops := tr.CPUs[c.ID]
 		if pos[c.ID] >= len(ops) {
-			sched.Finish(c)
+			sched.Retire(c)
 			continue
 		}
 		op := ops[pos[c.ID]]
@@ -85,15 +91,15 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 		switch op.Kind {
 		case trace.Read:
 			m.access(c, memory.Block(op.Arg), false)
-			sched.Yield(c)
+			sched.Requeue(c)
 		case trace.Write:
 			m.access(c, memory.Block(op.Arg), true)
-			sched.Yield(c)
+			sched.Requeue(c)
 		case trace.Barrier:
 			arrive := c.Clock
 			release, waiters, ok := m.barrier.Arrive(c)
 			if !ok {
-				sched.Block(c)
+				sched.Park(c)
 				continue
 			}
 			n := m.nodeOf(c.ID)
@@ -103,16 +109,16 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 				m.st.Nodes[wn].SyncCycles += release - w.Clock
 				sched.Unblock(w, release)
 			}
-			sched.Yield(c)
+			sched.Requeue(c)
 		case trace.Lock:
 			l := m.lock(op.Arg)
 			before := c.Clock
 			if !l.Acquire(c) {
-				sched.Block(c)
+				sched.Park(c)
 				continue
 			}
 			m.chargeLock(c, op.Arg, before)
-			sched.Yield(c)
+			sched.Requeue(c)
 		case trace.Unlock:
 			l := m.lock(op.Arg)
 			m.lockOwn[op.Arg] = m.nodeOf(c.ID)
@@ -129,7 +135,7 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 				m.chargeLock(next, op.Arg, granted)
 				sched.Unblock(next, next.Clock)
 			}
-			sched.Yield(c)
+			sched.Requeue(c)
 		case trace.Phase:
 			if !m.phaseDone {
 				m.phaseDone = true
@@ -142,9 +148,9 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 					}
 				}
 			}
-			sched.Yield(c)
+			sched.Requeue(c)
 		case trace.Pad:
-			sched.Yield(c)
+			sched.Requeue(c)
 		default:
 			return fmt.Errorf("dsm: unknown op kind %v", op.Kind)
 		}

@@ -9,8 +9,8 @@
 package engine
 
 import (
-	"container/heap"
 	"fmt"
+	"strconv"
 )
 
 // Time is simulated time in processor cycles.
@@ -21,7 +21,13 @@ type Time = int64
 // resource for its occupancy. This is the standard analytic contention
 // model for split-transaction buses and network interfaces.
 type Resource struct {
-	name     string
+	// name is the explicit label; when empty the label is prefix+id,
+	// formatted lazily so constructing a resource never allocates a
+	// string (machines build dozens per run, reports read few).
+	name   string
+	prefix string
+	id     int
+
 	nextFree Time
 	busy     Time // accumulated busy cycles, for utilization reports
 	uses     int64
@@ -30,6 +36,20 @@ type Resource struct {
 // NewResource returns a named, initially idle resource.
 func NewResource(name string) *Resource {
 	return &Resource{name: name}
+}
+
+// NewResourceBank returns n resources labeled prefix0..prefix{n-1},
+// allocated in one block. Labels are formatted on demand by Name, so
+// building a bank costs two allocations regardless of n.
+func NewResourceBank(prefix string, n int) []*Resource {
+	backing := make([]Resource, n)
+	out := make([]*Resource, n)
+	for i := range backing {
+		backing[i].prefix = prefix
+		backing[i].id = i
+		out[i] = &backing[i]
+	}
+	return out
 }
 
 // Acquire occupies the resource for occ cycles starting no earlier than
@@ -58,7 +78,12 @@ func (r *Resource) Busy() Time { return r.busy }
 func (r *Resource) Uses() int64 { return r.uses }
 
 // Name returns the resource's label.
-func (r *Resource) Name() string { return r.name }
+func (r *Resource) Name() string {
+	if r.name != "" || r.prefix == "" {
+		return r.name
+	}
+	return r.prefix + strconv.Itoa(r.id)
+}
 
 // Reset returns the resource to its initial idle state.
 func (r *Resource) Reset() {
@@ -86,23 +111,37 @@ type CPU struct {
 }
 
 // Scheduler advances a fixed set of CPUs in global simulated-time order.
-// The caller repeatedly calls Next to obtain the earliest runnable CPU,
-// performs one unit of that CPU's work (advancing its Clock), and calls
-// Yield to requeue it.
+//
+// Two usage styles are supported. The classic pop/push cycle: Next pops
+// the earliest runnable CPU, the caller performs one unit of its work
+// (advancing its Clock), and Yield requeues it. And the cheaper in-place
+// cycle used by the replay hot loop: Peek returns the earliest runnable
+// CPU without removing it, the caller advances its Clock (and may push
+// other CPUs via Unblock), then Requeue restores heap order, or Park /
+// Retire removes the CPU when it blocks or finishes. The in-place cycle
+// performs one sift per dispatched event instead of two and never moves
+// the other elements twice; dispatch order is identical, since the heap
+// always pops the unique (Clock, ID) minimum either way.
+//
+// The heap is hand-rolled rather than container/heap: the comparison and
+// swap run inline on the concrete slice, which matters because the replay
+// loop dispatches one heap operation per trace op.
 type Scheduler struct {
 	cpus []*CPU
-	heap cpuHeap
+	heap []*CPU
 	done int
 }
 
 // NewScheduler creates a scheduler over n CPUs, all runnable at time 0.
 func NewScheduler(n int) *Scheduler {
-	s := &Scheduler{cpus: make([]*CPU, n)}
-	s.heap = make(cpuHeap, 0, n)
+	s := &Scheduler{cpus: make([]*CPU, n), heap: make([]*CPU, n)}
+	backing := make([]CPU, n)
 	for i := 0; i < n; i++ {
-		c := &CPU{ID: i, index: -1}
+		c := &backing[i]
+		c.ID = i
+		c.index = i
 		s.cpus[i] = c
-		heap.Push(&s.heap, c)
+		s.heap[i] = c // equal clocks in ID order is already a valid heap
 	}
 	return s
 }
@@ -113,14 +152,134 @@ func (s *Scheduler) NumCPUs() int { return len(s.cpus) }
 // CPUByID returns the processor with the given id.
 func (s *Scheduler) CPUByID(id int) *CPU { return s.cpus[id] }
 
+// less orders CPUs by (Clock, ID); IDs are unique, so the order is total
+// and the dispatch sequence does not depend on heap layout.
+func less(a, b *CPU) bool {
+	if a.Clock != b.Clock {
+		return a.Clock < b.Clock
+	}
+	return a.ID < b.ID
+}
+
+// up restores the heap property from position i toward the root.
+func (s *Scheduler) up(i int) {
+	h := s.heap
+	c := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(c, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].index = i
+		i = parent
+	}
+	h[i] = c
+	c.index = i
+}
+
+// down restores the heap property from position i toward the leaves.
+func (s *Scheduler) down(i int) {
+	h := s.heap
+	n := len(h)
+	c := h[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && less(h[r], h[child]) {
+			child = r
+		}
+		if !less(h[child], c) {
+			break
+		}
+		h[i] = h[child]
+		h[i].index = i
+		i = child
+	}
+	h[i] = c
+	c.index = i
+}
+
+// push appends a CPU and sifts it up.
+func (s *Scheduler) push(c *CPU) {
+	c.index = len(s.heap)
+	s.heap = append(s.heap, c)
+	s.up(c.index)
+}
+
+// removeAt deletes the CPU at heap position i.
+func (s *Scheduler) removeAt(i int) {
+	h := s.heap
+	last := len(h) - 1
+	c := h[i]
+	if i != last {
+		h[i] = h[last]
+		h[i].index = i
+	}
+	h[last] = nil
+	s.heap = h[:last]
+	if i != last {
+		s.down(i)
+		s.up(i)
+	}
+	c.index = -1
+}
+
+// Peek returns the runnable CPU with the smallest clock (ties broken by
+// id) without removing it, or nil when no CPU is runnable. The caller
+// advances the CPU's clock and then calls Requeue, Park or Retire; until
+// then the heap is suspended around that CPU, and only Unblock may touch
+// it.
+func (s *Scheduler) Peek() *CPU {
+	if len(s.heap) == 0 {
+		return nil
+	}
+	return s.heap[0]
+}
+
+// Requeue restores heap order around a peeked CPU whose clock advanced.
+// Clocks are monotonic — simulated work only moves a CPU later in time —
+// so a single downward sift suffices (the CPU can only have grown
+// relative to its children; its parent relation is untouched).
+func (s *Scheduler) Requeue(c *CPU) {
+	if c.state != cpuRunnable || c.index < 0 {
+		panic(fmt.Sprintf("engine: requeue of non-queued cpu %d", c.ID))
+	}
+	s.down(c.index)
+}
+
+// Park removes a peeked CPU from the runnable heap and marks it blocked
+// on synchronization. It must later be released with Unblock.
+func (s *Scheduler) Park(c *CPU) {
+	if c.index < 0 {
+		panic(fmt.Sprintf("engine: park of non-queued cpu %d", c.ID))
+	}
+	c.state = cpuBlocked
+	s.removeAt(c.index)
+}
+
+// Retire removes a peeked CPU from the runnable heap and marks it done.
+func (s *Scheduler) Retire(c *CPU) {
+	if c.index < 0 {
+		panic(fmt.Sprintf("engine: retire of non-queued cpu %d", c.ID))
+	}
+	c.state = cpuDone
+	s.removeAt(c.index)
+	s.done++
+}
+
 // Next pops the runnable CPU with the smallest clock (ties broken by id).
 // It returns nil when no CPU is runnable: either all are done, or the
 // system has deadlocked on synchronization (which Done distinguishes).
 func (s *Scheduler) Next() *CPU {
-	if s.heap.Len() == 0 {
+	if len(s.heap) == 0 {
 		return nil
 	}
-	return heap.Pop(&s.heap).(*CPU)
+	c := s.heap[0]
+	s.removeAt(0)
+	return c
 }
 
 // Yield requeues a CPU obtained from Next so it can run again.
@@ -128,7 +287,7 @@ func (s *Scheduler) Yield(c *CPU) {
 	if c.state != cpuRunnable {
 		panic(fmt.Sprintf("engine: yield of non-runnable cpu %d", c.ID))
 	}
-	heap.Push(&s.heap, c)
+	s.push(c)
 }
 
 // Block marks a CPU (obtained from Next) as waiting on synchronization.
@@ -144,7 +303,7 @@ func (s *Scheduler) Unblock(c *CPU, at Time) {
 		c.Clock = at
 	}
 	c.state = cpuRunnable
-	heap.Push(&s.heap, c)
+	s.push(c)
 }
 
 // Finish retires a CPU obtained from Next.
@@ -168,36 +327,6 @@ func (s *Scheduler) MaxClock() Time {
 	return m
 }
 
-// cpuHeap orders CPUs by (Clock, ID).
-type cpuHeap []*CPU
-
-func (h cpuHeap) Len() int { return len(h) }
-func (h cpuHeap) Less(i, j int) bool {
-	if h[i].Clock != h[j].Clock {
-		return h[i].Clock < h[j].Clock
-	}
-	return h[i].ID < h[j].ID
-}
-func (h cpuHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *cpuHeap) Push(x any) {
-	c := x.(*CPU)
-	c.index = len(*h)
-	*h = append(*h, c)
-}
-func (h *cpuHeap) Pop() any {
-	old := *h
-	n := len(old)
-	c := old[n-1]
-	old[n-1] = nil
-	c.index = -1
-	*h = old[:n-1]
-	return c
-}
-
 // Barrier synchronizes a fixed population of CPUs: the last arriver
 // releases everyone at max(arrival times) plus the release overhead.
 type Barrier struct {
@@ -205,6 +334,9 @@ type Barrier struct {
 	overhead   Time
 
 	waiting []*CPU
+	// spare is the previous epoch's waiter slice, recycled so steady-
+	// state barrier episodes allocate nothing.
+	spare   []*CPU
 	maxTime Time
 	epochs  int64
 }
@@ -223,7 +355,11 @@ func NewBarrier(population int, overhead Time) *Barrier {
 // returns the release time and the slice of previously waiting CPUs that
 // the caller must Unblock at that time; c itself remains runnable and its
 // clock is advanced to the release time. Otherwise Arrive returns ok =
-// false and the caller must Block c.
+// false and the caller must Block (or Park) c.
+//
+// The returned waiters slice is only valid until the barrier next
+// releases: its backing array is recycled for a later epoch's waiter
+// list.
 func (b *Barrier) Arrive(c *CPU) (release Time, waiters []*CPU, ok bool) {
 	if c.Clock > b.maxTime {
 		b.maxTime = c.Clock
@@ -231,7 +367,8 @@ func (b *Barrier) Arrive(c *CPU) (release Time, waiters []*CPU, ok bool) {
 	if len(b.waiting)+1 == b.population {
 		release = b.maxTime + b.overhead
 		waiters = b.waiting
-		b.waiting = nil
+		b.waiting = b.spare[:0]
+		b.spare = waiters
 		b.maxTime = 0
 		b.epochs++
 		c.Clock = release

@@ -71,6 +71,13 @@ type Options struct {
 	// experiment. Auditing does not change simulated results.
 	Audit bool
 
+	// Traces, when non-nil, caches generated application traces keyed
+	// by (app, cpus, scale) and shares them across experiments: a run
+	// of all five paper experiments generates each workload once
+	// instead of once per experiment. Traces are read-only during
+	// replay, so sharing is safe even across Parallel workers.
+	Traces *TraceCache
+
 	// Out receives the rendered report (required).
 	Out io.Writer
 }
@@ -230,7 +237,7 @@ func runExperiment(name string, systems []systemRun, o Options) (*Result, error)
 	baseline := systemRun{spec: dsm.PerfectCCNUMA(), tm: config.Default(), th: config.DefaultThresholds()}
 
 	for _, app := range list {
-		tr, err := app.Generate(apps.Params{CPUs: cl.TotalCPUs(), Scale: o.Scale})
+		tr, err := o.Traces.generate(app, apps.Params{CPUs: cl.TotalCPUs(), Scale: o.Scale})
 		if err != nil {
 			return nil, fmt.Errorf("harness: generating %s: %w", app.Name, err)
 		}

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/trace"
+)
+
+// TraceCache shares generated application traces across experiments.
+// Workload generation is deterministic for a given (app, cpus, scale),
+// and replay never mutates a trace, so one generated trace can back
+// every system and every experiment that asks for the same workload.
+// The zero value is unusable; a nil *TraceCache disables caching
+// (every call generates afresh), which keeps the cache strictly
+// opt-in for callers that want cold-generation timings.
+type TraceCache struct {
+	mu sync.Mutex
+	m  map[traceKey]*trace.Trace
+}
+
+type traceKey struct {
+	app   string
+	cpus  int
+	scale int
+	seed  uint64
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{m: make(map[traceKey]*trace.Trace)}
+}
+
+// Len returns the number of cached traces.
+func (tc *TraceCache) Len() int {
+	if tc == nil {
+		return 0
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return len(tc.m)
+}
+
+// generate returns the cached trace for (app, params), generating and
+// caching it on first use. A nil receiver generates without caching.
+func (tc *TraceCache) generate(app apps.Info, p apps.Params) (*trace.Trace, error) {
+	if tc == nil {
+		return app.Generate(p)
+	}
+	key := traceKey{app: app.Name, cpus: p.CPUs, scale: p.Scale, seed: p.Seed}
+	tc.mu.Lock()
+	tr := tc.m[key]
+	tc.mu.Unlock()
+	if tr != nil {
+		return tr, nil
+	}
+	tr, err := app.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	tc.mu.Lock()
+	tc.m[key] = tr
+	tc.mu.Unlock()
+	return tr, nil
+}

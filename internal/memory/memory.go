@@ -176,6 +176,24 @@ func (pt *PageTable) grow(p Page) {
 	}
 }
 
+// Presize extends the table to cover pages [0, n), sharing one backing
+// allocation across the per-node mode vectors. Replay machines know the
+// trace footprint up front, so presizing makes Entry allocation-free on
+// the access path.
+func (pt *PageTable) Presize(n int) {
+	if n <= len(pt.pages) {
+		return
+	}
+	fresh := n - len(pt.pages)
+	modes := make([]PageMode, fresh*pt.nodes)
+	for i := 0; i < fresh; i++ {
+		pt.pages = append(pt.pages, PageInfo{
+			Home: -1,
+			Mode: modes[i*pt.nodes : (i+1)*pt.nodes : (i+1)*pt.nodes],
+		})
+	}
+}
+
 // Entry returns a pointer to the page's entry, creating it if needed.
 func (pt *PageTable) Entry(p Page) *PageInfo {
 	pt.grow(p)

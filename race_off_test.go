@@ -1,0 +1,8 @@
+//go:build !race
+
+package repro
+
+// raceEnabled reports whether the race detector instruments this build.
+// The allocation-regression guard skips under race: instrumentation adds
+// allocations that the committed baselines do not account for.
+const raceEnabled = false
