@@ -17,6 +17,7 @@ type benchBaseline struct {
 	Results []struct {
 		Name        string `json:"name"`
 		Guarded     bool   `json:"guarded"`
+		BytesPerOp  int64  `json:"bytes_per_op"`
 		AllocsPerOp int64  `json:"allocs_per_op"`
 	} `json:"results"`
 }
@@ -48,12 +49,13 @@ func latestBaseline(t *testing.T) string {
 }
 
 // TestBenchAllocationGuard re-runs the guarded hot-path benchmarks
-// (cache probes, fault path per miss class, engine dispatch) and fails
-// if allocs/op regresses more than 20% over the newest committed
-// BENCH_<pr>.json baseline. ns/op is deliberately not guarded — wall
-// time varies with the host — but allocation counts are deterministic
-// for a fixed code path, so a jump means an allocation crept back into
-// a hot loop.
+// (cache probes, fault path per miss class, engine dispatch, trace
+// streaming, the Figure 5 macro) and fails if allocs/op OR bytes/op
+// regresses more than 20% over the newest committed BENCH_<pr>.json
+// baseline. ns/op is deliberately not guarded — wall time varies with
+// the host — but allocation counts and sizes are deterministic for a
+// fixed code path, so a jump means an allocation crept back into a hot
+// loop (or an existing one got fatter, which allocs/op alone misses).
 //
 // Regenerate the baseline deliberately with:
 //
@@ -75,10 +77,11 @@ func TestBenchAllocationGuard(t *testing.T) {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		t.Fatalf("bad baseline: %v", err)
 	}
-	baseline := map[string]int64{}
+	type limits struct{ allocs, bytes int64 }
+	baseline := map[string]limits{}
 	for _, r := range base.Results {
 		if r.Guarded {
-			baseline[r.Name] = r.AllocsPerOp
+			baseline[r.Name] = limits{allocs: r.AllocsPerOp, bytes: r.BytesPerOp}
 		}
 	}
 	if len(baseline) == 0 {
@@ -95,15 +98,23 @@ func TestBenchAllocationGuard(t *testing.T) {
 			continue
 		}
 		r := testing.Benchmark(c.Bench)
-		got := r.AllocsPerOp()
+		got := limits{allocs: r.AllocsPerOp(), bytes: r.AllocedBytesPerOp()}
 		// 20% headroom plus one absolute alloc, so zero-alloc baselines
 		// tolerate nothing but noise-level drift.
-		limit := want + want/5 + 1
-		if got > limit {
+		if limit := want.allocs + want.allocs/5 + 1; got.allocs > limit {
 			t.Errorf("%s: %d allocs/op, baseline %d (limit %d): an allocation crept into the hot path",
-				c.Name, got, want, limit)
+				c.Name, got.allocs, want.allocs, limit)
 		} else {
-			t.Logf("%s: %d allocs/op (baseline %d)", c.Name, got, want)
+			t.Logf("%s: %d allocs/op (baseline %d)", c.Name, got.allocs, want.allocs)
+		}
+		// Same 20% tolerance on bytes, with one cache line of absolute
+		// headroom: size-class rounding can wobble small baselines by a
+		// few bytes without any code change.
+		if limit := want.bytes + want.bytes/5 + 64; got.bytes > limit {
+			t.Errorf("%s: %d bytes/op, baseline %d (limit %d): hot-path allocations got fatter",
+				c.Name, got.bytes, want.bytes, limit)
+		} else {
+			t.Logf("%s: %d bytes/op (baseline %d)", c.Name, got.bytes, want.bytes)
 		}
 	}
 }

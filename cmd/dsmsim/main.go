@@ -5,12 +5,18 @@
 //
 //	dsmsim -app lu -system rnuma [-scale 4] [-slow] [-netscale 4] [-audit=false]
 //	dsmsim -app lu -systems ccnuma,migrep,migrep-contend -normalize
+//	dsmsim -app radix -tracestore .tracestore   # reuse traces across runs
 //	dsmsim -list
 //
 // Systems resolve through the dsm registry (see -list for names):
 // perfect, ccnuma, rep, mig, migrep, rnuma, rnuma-inf, rnuma-half,
 // rnuma-half-migrep, scoma, migrep-contend, and anything registered
 // since.
+//
+// -tracestore names a directory of the content-addressed on-disk trace
+// store (internal/trace/store): the workload is loaded from disk when
+// present and saved after generation otherwise. It defaults to off so
+// generation timings stay cold.
 package main
 
 import (
@@ -23,6 +29,8 @@ import (
 	"repro/internal/config"
 	"repro/internal/dsm"
 	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/trace/store"
 )
 
 func fail(err error) {
@@ -42,6 +50,7 @@ func main() {
 		baseline = flag.Bool("normalize", false, "also run perfect CC-NUMA and print normalized time")
 		perNode  = flag.Bool("pernode", false, "print the per-node statistics table")
 		list     = flag.Bool("list", false, "list applications and systems, then exit")
+		tsDir    = flag.String("tracestore", "", "directory of the on-disk trace store (empty = off; generation timings stay cold)")
 	)
 	flag.Parse()
 
@@ -79,12 +88,25 @@ func main() {
 		fail(err)
 	}
 
-	tr, err := app.Generate(apps.Params{CPUs: cl.TotalCPUs(), Scale: *scale})
+	params := apps.Params{CPUs: cl.TotalCPUs(), Scale: *scale}
+	var ts *store.Store // nil disables persistence
+	if *tsDir != "" {
+		if ts, err = store.Open(*tsDir); err != nil {
+			fail(err)
+		}
+	}
+	tr, hit, err := ts.LoadOrGenerate(
+		store.Key{App: app.Name, CPUs: params.CPUs, Scale: params.Scale, Seed: params.Seed},
+		func() (*trace.Trace, error) { return app.Generate(params) })
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("trace: %d ops, %.2f MB shared footprint, %d barriers, %d locks\n",
-		tr.Ops(), float64(tr.Footprint)/(1<<20), tr.Barriers, tr.Locks)
+	src := "generated"
+	if hit {
+		src = "loaded from " + *tsDir
+	}
+	fmt.Printf("trace: %d ops, %.2f MB shared footprint, %d barriers, %d locks (%s)\n",
+		tr.Ops(), float64(tr.Footprint)/(1<<20), tr.Barriers, tr.Locks, src)
 
 	// The normalization baseline is system-independent: run it once.
 	var base *stats.Sim

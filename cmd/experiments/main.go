@@ -7,8 +7,10 @@
 //	experiments -experiment fig5            # one experiment
 //	experiments -experiment fig5 -systems ccnuma,migrep-contend,rnuma
 //	experiments -experiment toposweep       # Figure 5 across interconnect fabrics
+//	experiments -experiment scalesweep -scales 8,16,32,64   # Figure 5 across problem scales
 //	experiments -scale 4 -parallel 8        # smaller inputs, concurrent runs
 //	experiments -json results.json -csv results.csv
+//	experiments -tracestore .tracestore     # persist generated traces on disk
 //	experiments -experiment params          # print the encoded Tables 2 and 3
 //	experiments -list-systems               # print the memory-system registry
 //	experiments -cpuprofile cpu.out -memprofile mem.out   # ad-hoc profiling
@@ -16,6 +18,12 @@
 // Systems resolve through the dsm registry, so -systems accepts any
 // registered name — including systems that postdate the paper, such as
 // the contention-aware "migrep-contend".
+//
+// -tracestore names a directory for the content-addressed on-disk
+// trace store (internal/trace/store): generated workloads are written
+// there and later runs materialize them from disk instead of
+// regenerating. It defaults to off so cold-generation timings stay
+// measurable.
 package main
 
 import (
@@ -25,12 +33,14 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/config"
 	"repro/internal/dsm"
 	"repro/internal/harness"
+	"repro/internal/trace/store"
 )
 
 func printParams() {
@@ -78,8 +88,9 @@ func main() {
 
 func run() error {
 	var (
-		exp         = flag.String("experiment", "all", "experiment: fig5, table4, fig6, fig7, fig8, toposweep, params, all")
+		exp         = flag.String("experiment", "all", "experiment: fig5, table4, fig6, fig7, fig8, toposweep, scalesweep, params, all")
 		scale       = flag.Int("scale", 1, "problem-size divisor (1 = full size)")
+		scalesFlag  = flag.String("scales", "", "comma-separated scale ladder for -experiment scalesweep (default 8,16,32,64)")
 		appsFlag    = flag.String("apps", "", "comma-separated app subset (default: the paper's seven)")
 		systemsFlag = flag.String("systems", "", "comma-separated system override from the dsm registry (see -list-systems)")
 		parallel    = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations per app (0 = serial)")
@@ -88,6 +99,7 @@ func run() error {
 		csvPath     = flag.String("csv", "", "also write machine-readable CSV rows to this file")
 		jsonPath    = flag.String("json", "", "also write the structured records as JSON to this file")
 		listSystems = flag.Bool("list-systems", false, "list the registered memory systems and exit")
+		traceStore  = flag.String("tracestore", "", "directory of the on-disk trace store (empty = off; generation timings stay cold)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
 	)
@@ -132,12 +144,22 @@ func run() error {
 		return nil
 	}
 
+	// The in-memory cache always shares each workload across
+	// experiments; -tracestore adds the persistent tier underneath it.
+	traces := harness.NewTraceCache()
+	if *traceStore != "" {
+		st, err := store.Open(*traceStore)
+		if err != nil {
+			return err
+		}
+		traces = harness.NewTraceCacheWithStore(st)
+	}
 	o := harness.Options{
 		Scale:    *scale,
 		Parallel: *parallel,
 		Verbose:  *verbose,
 		Audit:    *audit,
-		Traces:   harness.NewTraceCache(), // generate each workload once across experiments
+		Traces:   traces,
 		Out:      os.Stdout,
 	}
 	if *appsFlag != "" {
@@ -145,6 +167,15 @@ func run() error {
 	}
 	if *systemsFlag != "" {
 		o.Systems = strings.Split(*systemsFlag, ",")
+	}
+	if *scalesFlag != "" {
+		for _, f := range strings.Split(*scalesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("experiments: bad -scales entry %q: %w", f, err)
+			}
+			o.Scales = append(o.Scales, n)
+		}
 	}
 
 	var csvFile *os.File

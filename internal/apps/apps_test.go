@@ -72,8 +72,8 @@ func TestAllTracesHavePhaseMarker(t *testing.T) {
 	for name, tr := range generateAll(t, 8) {
 		for cpu, ops := range tr.CPUs {
 			found := false
-			for _, op := range ops {
-				if op.Kind == trace.Phase {
+			for _, k := range ops.Kinds {
+				if k == trace.Phase {
 					found = true
 					break
 				}
@@ -100,8 +100,8 @@ func TestTracesAreDeterministic(t *testing.T) {
 			continue
 		}
 		for cpu := range a.CPUs {
-			for i := range a.CPUs[cpu] {
-				if a.CPUs[cpu][i] != b.CPUs[cpu][i] {
+			for i := 0; i < a.CPUs[cpu].Len(); i++ {
+				if a.CPUs[cpu].Op(i) != b.CPUs[cpu].Op(i) {
 					t.Errorf("%s: cpu %d op %d differs", app.Name, cpu, i)
 					break
 				}
@@ -114,13 +114,13 @@ func TestAddressesWithinFootprint(t *testing.T) {
 	for name, tr := range generateAll(t, 8) {
 		blocks := tr.Footprint / 64
 		for cpu, ops := range tr.CPUs {
-			for i, op := range ops {
-				if op.Kind != trace.Read && op.Kind != trace.Write {
+			for i, k := range ops.Kinds {
+				if k != trace.Read && k != trace.Write {
 					continue
 				}
-				if op.Arg >= blocks {
+				if ops.Args[i] >= blocks {
 					t.Fatalf("%s: cpu %d op %d touches block %d beyond footprint (%d blocks)",
-						name, cpu, i, op.Arg, blocks)
+						name, cpu, i, ops.Args[i], blocks)
 				}
 			}
 		}
@@ -136,8 +136,8 @@ func TestMostCPUsDoWork(t *testing.T) {
 	for name, tr := range generateAll(t, 4) {
 		active := 0
 		for _, ops := range tr.CPUs {
-			for _, op := range ops {
-				if op.Kind == trace.Read || op.Kind == trace.Write {
+			for _, k := range ops.Kinds {
+				if k == trace.Read || k == trace.Write {
 					active++
 					break
 				}

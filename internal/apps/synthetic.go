@@ -70,12 +70,12 @@ func GenerateSynthetic(kind SyntheticKind, sp SyntheticParams) (*trace.Trace, er
 			regs[i] = w.AllocF64(fmt.Sprintf("priv%d", i), bytesPer/8)
 		}
 		w.Phase()
-		w.Parallel(func(c *Ctx) {
+		w.ParallelIndep(func(c *Ctx) {
 			c.TouchRange(regs[c.CPU].Addr(0), bytesPer, true)
 		})
 		w.Barrier()
 		for it := 0; it < sp.Iters; it++ {
-			w.Parallel(func(c *Ctx) {
+			w.ParallelIndep(func(c *Ctx) {
 				c.TouchRange(regs[c.CPU].Addr(0), bytesPer, false)
 				c.TouchRange(regs[c.CPU].Addr(0), bytesPer, true)
 				c.Compute(bytesPer / 16)
@@ -87,14 +87,14 @@ func GenerateSynthetic(kind SyntheticKind, sp SyntheticParams) (*trace.Trace, er
 		shared := w.AllocF64("hot", bytesPer/8)
 		w.Phase()
 		// cpu 0's node owns the region
-		w.Parallel(func(c *Ctx) {
+		w.ParallelIndep(func(c *Ctx) {
 			if c.CPU == 0 {
 				c.TouchRange(shared.Addr(0), bytesPer, true)
 			}
 		})
 		w.Barrier()
 		for it := 0; it < sp.Iters; it++ {
-			w.Parallel(func(c *Ctx) {
+			w.ParallelIndep(func(c *Ctx) {
 				c.TouchRange(shared.Addr(0), bytesPer, false)
 				c.Compute(bytesPer / 32)
 			})
@@ -104,7 +104,7 @@ func GenerateSynthetic(kind SyntheticKind, sp SyntheticParams) (*trace.Trace, er
 	case SynMigratory:
 		shared := w.AllocF64("mig", bytesPer/8)
 		w.Phase()
-		w.Parallel(func(c *Ctx) {
+		w.ParallelIndep(func(c *Ctx) {
 			if c.CPU == 0 {
 				c.TouchRange(shared.Addr(0), bytesPer, true)
 			}
@@ -114,7 +114,7 @@ func GenerateSynthetic(kind SyntheticKind, sp SyntheticParams) (*trace.Trace, er
 		// region exclusively and sweeps it many times.
 		for ph := 0; ph < sp.Iters; ph++ {
 			ownerCPU := (ph % (sp.CPUs / 4)) * 4 // one CPU per node in turn
-			w.Parallel(func(c *Ctx) {
+			w.ParallelIndep(func(c *Ctx) {
 				if c.CPU != ownerCPU {
 					return
 				}
@@ -131,7 +131,7 @@ func GenerateSynthetic(kind SyntheticKind, sp SyntheticParams) (*trace.Trace, er
 		shared := w.AllocF64("ws", bytesPer/8)
 		n := bytesPer / 8
 		w.Phase()
-		w.Parallel(func(c *Ctx) {
+		w.ParallelIndep(func(c *Ctx) {
 			if c.CPU == 0 {
 				c.TouchRange(shared.Addr(0), bytesPer, true)
 			}
@@ -167,14 +167,14 @@ func GenerateSynthetic(kind SyntheticKind, sp SyntheticParams) (*trace.Trace, er
 		total := bytesPer * mult
 		shared := w.AllocF64("big", total/8)
 		w.Phase()
-		w.Parallel(func(c *Ctx) {
+		w.ParallelIndep(func(c *Ctx) {
 			if c.CPU == 0 {
 				c.TouchRange(shared.Addr(0), total, true)
 			}
 		})
 		w.Barrier()
 		for it := 0; it < sp.Iters; it++ {
-			w.Parallel(func(c *Ctx) {
+			w.ParallelIndep(func(c *Ctx) {
 				if c.CPU%4 != 0 || c.CPU == 0 {
 					return
 				}

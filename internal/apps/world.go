@@ -11,10 +11,16 @@
 // through Locks, so generating them sequentially (CPU 0, then CPU 1, ...)
 // produces one legal parallel interleaving. This mirrors how the paper's
 // applications are structured and keeps trace generation deterministic.
+// Segments whose bodies are fully independent in Go data (record-only
+// sweeps: TouchRange plus Compute) may use ParallelIndep instead, which
+// fans the per-processor bodies out over goroutines — recorders are
+// per-processor, so the resulting trace is byte-identical to the
+// sequential schedule and only generation wall-clock changes.
 package apps
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/memory"
 	"repro/internal/trace"
@@ -75,6 +81,30 @@ func (w *World) Parallel(body func(c *Ctx)) {
 	}
 }
 
+// ParallelIndep is Parallel for bodies whose per-processor work is fully
+// independent in Go data: each body may record (recorders are
+// per-processor), charge compute, and read data no concurrent body
+// writes, but must not mutate shared Go state or allocate/name locks.
+// Such segments fan out over real goroutines — the trace is byte-
+// identical to the sequential schedule, only generation wall-clock
+// changes. Generators whose bodies carry real data dependences (the
+// SPLASH kernels compute actual results) must keep using Parallel.
+func (w *World) ParallelIndep(body func(c *Ctx)) {
+	if w.ncpu == 1 {
+		w.Parallel(body)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w.ncpu)
+	for i := 0; i < w.ncpu; i++ {
+		go func(i int) {
+			defer wg.Done()
+			body(&Ctx{CPU: i, N: w.ncpu, w: w, r: w.recs[i]})
+		}(i)
+	}
+	wg.Wait()
+}
+
 // Serial runs body on processor 0 only (sequential sections).
 func (w *World) Serial(body func(c *Ctx)) {
 	body(&Ctx{CPU: 0, N: w.ncpu, w: w, r: w.recs[0]})
@@ -115,7 +145,7 @@ func (w *World) LockID(name string) int {
 func (w *World) Finish() (*trace.Trace, error) {
 	t := &trace.Trace{
 		Name:      w.name,
-		CPUs:      make([][]trace.Op, w.ncpu),
+		CPUs:      make([]trace.Stream, w.ncpu),
 		Barriers:  w.nextBarrier,
 		Locks:     w.nextLock,
 		Footprint: w.alloc.Bytes(),

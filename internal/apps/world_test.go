@@ -44,7 +44,7 @@ func TestTouchRangeCoversAllBlocks(t *testing.T) {
 	})
 	tr := w.MustFinish()
 	mem := 0
-	for _, op := range tr.CPUs[0] {
+	for _, op := range tr.CPUs[0].Ops() {
 		if op.Kind == trace.Read {
 			mem++
 		}
@@ -62,7 +62,7 @@ func TestTouchRecMultiBlockField(t *testing.T) {
 	})
 	tr := w.MustFinish()
 	writes := 0
-	for _, op := range tr.CPUs[0] {
+	for _, op := range tr.CPUs[0].Ops() {
 		if op.Kind == trace.Write {
 			writes++
 		}

@@ -8,15 +8,20 @@
 // The cases cover the layers the performance work touches: cache probes
 // (block cache, infinite block cache, page cache), the DSM fault path
 // broken out by miss class (cold, coherence, capacity/conflict, and the
-// S-COMA relocation/replacement path), engine dispatch, and the
-// full-sweep Figure 5 macrobenchmark.
+// S-COMA relocation/replacement path), engine dispatch, trace streaming
+// in both memory layouts (the live columnar form vs the retired
+// array-of-structs baseline), trace materialization cold (generator)
+// vs warm (on-disk store), and two macrobenchmarks: the full Figure 5
+// sweep and the scale-32 rung of the scale sweep.
 package bench
 
 import (
 	"io"
+	"os"
 	"sync"
 	"testing"
 
+	"repro/internal/apps"
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/dsm"
@@ -24,6 +29,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/memory"
 	"repro/internal/trace"
+	"repro/internal/trace/store"
 )
 
 // Case is one named benchmark body.
@@ -51,7 +57,12 @@ func Cases() []Case {
 		{Name: "FaultPathCoherence", Bench: FaultPathCoherence, Guarded: true},
 		{Name: "FaultPathCapacity", Bench: FaultPathCapacity, Guarded: true},
 		{Name: "FaultPathSCOMA", Bench: FaultPathSCOMA, Guarded: true},
-		{Name: "Fig5Sweep", Bench: Fig5Sweep, Macro: true},
+		{Name: "TraceReplaySoA", Bench: TraceReplaySoA, Guarded: true},
+		{Name: "TraceReplayAoS", Bench: TraceReplayAoS, Guarded: true},
+		{Name: "StoreGenerateCold", Bench: StoreGenerateCold},
+		{Name: "StoreMaterializeWarm", Bench: StoreMaterializeWarm},
+		{Name: "Fig5Sweep", Bench: Fig5Sweep, Guarded: true, Macro: true},
+		{Name: "ScaleSweep32", Bench: ScaleSweep32, Macro: true},
 	}
 }
 
@@ -145,7 +156,7 @@ func faultTrace(name string, pages int, cl config.Cluster, measure func(r *trace
 	cpus := cl.TotalCPUs()
 	tr := &trace.Trace{
 		Name:      name,
-		CPUs:      make([][]trace.Op, cpus),
+		CPUs:      make([]trace.Stream, cpus),
 		Barriers:  2,
 		Footprint: uint64(pages) * config.PageBytes,
 	}
@@ -279,6 +290,169 @@ func FaultPathSCOMA(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// Trace streaming benchmarks: the replay engine's per-op consumption
+// pattern, isolated from protocol work, in both memory layouts.
+
+// streamSink keeps the streaming loops from being optimized away.
+var streamSink uint64
+
+// The two TraceReplay benchmarks perform identical dispatch-shaped
+// per-op work — load the kind, steer a switch on it, fold the gap into
+// a running clock and consume the arg — which is what Machine.Execute
+// does before protocol work begins. Only the memory layout differs.
+
+// TraceReplaySoA streams the capacity trace through its columnar form:
+// three dense per-CPU arrays, as Machine.Execute consumes them. One
+// iteration walks every op of every CPU; the trace-ops metric gives the
+// per-op scale.
+func TraceReplaySoA(b *testing.B) {
+	faultOnce.Do(buildFaultTraces)
+	tr := capTr
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		var clock uint64
+		for c := range tr.CPUs {
+			s := &tr.CPUs[c]
+			kinds := s.Kinds
+			gaps := s.Gaps[:len(kinds)]
+			args := s.Args[:len(kinds)]
+			for j, k := range kinds {
+				clock += uint64(gaps[j])
+				arg := args[j]
+				switch k {
+				case trace.Read, trace.Write:
+					sink += arg ^ clock
+				case trace.Barrier, trace.Lock, trace.Unlock:
+					sink += arg + clock
+				default:
+					sink += clock
+				}
+			}
+		}
+	}
+	streamSink = sink
+	b.ReportMetric(float64(tr.Ops()), "trace-ops")
+}
+
+// TraceReplayAoS is the pre-columnar baseline: the same dispatch-shaped
+// work striding a per-CPU []trace.Op (16-byte padded structs). The AoS
+// slices are materialized outside the timed region. Kept so the layout
+// comparison (SoA must not be slower) stays measurable after the AoS
+// representation left the replay path.
+func TraceReplayAoS(b *testing.B) {
+	faultOnce.Do(buildFaultTraces)
+	tr := capTr
+	aos := make([][]trace.Op, len(tr.CPUs))
+	for c := range tr.CPUs {
+		aos[c] = tr.CPUs[c].Ops()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		var clock uint64
+		for _, ops := range aos {
+			for j := range ops {
+				op := &ops[j]
+				clock += uint64(op.Gap)
+				arg := op.Arg
+				switch op.Kind {
+				case trace.Read, trace.Write:
+					sink += arg ^ clock
+				case trace.Barrier, trace.Lock, trace.Unlock:
+					sink += arg + clock
+				default:
+					sink += clock
+				}
+			}
+		}
+	}
+	streamSink = sink
+	b.ReportMetric(float64(tr.Ops()), "trace-ops")
+}
+
+// ---------------------------------------------------------------------
+// Trace store benchmarks: cold generation vs warm disk materialization
+// of the same workload, at the same scale the Figure 5 macrobenchmark
+// replays. Their ns/op ratio is the speedup a warm store buys every
+// repeat run.
+
+// storeBenchApp is the workload both store benchmarks materialize. fmm
+// is the most generation-heavy of the paper's seven per emitted op (the
+// generator really evaluates multipole interactions), which is exactly
+// the shape of workload the store exists for; decode cost per op is
+// layout-bound and app-independent, so other apps differ mainly in how
+// much generation work the warm path skips.
+const storeBenchApp = "fmm"
+
+// storeBenchParams sizes the store benchmarks to the macro scale.
+func storeBenchParams() apps.Params {
+	return apps.Params{CPUs: config.DefaultCluster().TotalCPUs(), Scale: fig5Scale}
+}
+
+// StoreGenerateCold measures generating the workload from scratch —
+// the cost every run of every worker paid before the trace store.
+func StoreGenerateCold(b *testing.B) {
+	info, err := apps.ByName(storeBenchApp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := storeBenchParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ops int
+	for i := 0; i < b.N; i++ {
+		tr, err := info.Generate(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = tr.Ops()
+	}
+	b.ReportMetric(float64(ops), "trace-ops")
+}
+
+// StoreMaterializeWarm measures the same workload materialized from a
+// warm on-disk store: one Load (read + checksum + columnar decode) per
+// iteration.
+func StoreMaterializeWarm(b *testing.B) {
+	info, err := apps.ByName(storeBenchApp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := storeBenchParams()
+	dir, err := os.MkdirTemp("", "tracestore-bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := store.Key{App: info.Name, CPUs: p.CPUs, Scale: p.Scale, Seed: p.Seed}
+	tr, err := info.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Save(key, tr); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ops int
+	for i := 0; i < b.N; i++ {
+		got, ok := st.Load(key)
+		if !ok {
+			b.Fatal("warm store missed")
+		}
+		ops = got.Ops()
+	}
+	b.ReportMetric(float64(ops), "trace-ops")
+}
+
+// ---------------------------------------------------------------------
 // Macrobenchmark.
 
 // fig5Scale matches benchScale in bench_test.go: one sweep iteration in
@@ -297,6 +471,38 @@ func Fig5Sweep(b *testing.B) {
 	run := func() {
 		r, err := harness.Fig5(harness.Options{
 			Scale: fig5Scale, Parallel: 4, Traces: traces, Out: io.Discard,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = 0
+		for _, app := range r.AppOrder {
+			for _, sys := range r.Systems {
+				if run := r.Runs[app][sys]; run != nil {
+					cycles += run.Stats.ExecCycles
+				}
+			}
+		}
+	}
+	run() // warm the trace cache outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+// ScaleSweep32 runs the scale-sweep experiment at problem scale 32 (all
+// Figure 5 systems over the seven applications), the mid rung of the
+// default 8..64 ladder — the macro answer to "how fast can we sweep a
+// scenario end to end". Traces are shared across iterations like
+// Fig5Sweep, so the metric is simulator throughput.
+func ScaleSweep32(b *testing.B) {
+	traces := harness.NewTraceCache()
+	var cycles int64
+	run := func() {
+		r, err := harness.ScaleSweep(harness.Options{
+			Scales: []int{32}, Parallel: 4, Traces: traces, Out: io.Discard,
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -35,9 +35,9 @@ func run(t *testing.T, spec Spec, tr *trace.Trace) *Machine {
 
 // tinyTrace builds a 32-CPU trace where only the listed CPUs have ops.
 func tinyTrace(footprint uint64, cpuOps map[int][]trace.Op) *trace.Trace {
-	tr := &trace.Trace{Name: "hand", CPUs: make([][]trace.Op, 32), Footprint: footprint}
+	tr := &trace.Trace{Name: "hand", CPUs: make([]trace.Stream, 32), Footprint: footprint}
 	for cpu, ops := range cpuOps {
-		tr.CPUs[cpu] = ops
+		tr.CPUs[cpu] = trace.StreamOf(ops...)
 	}
 	return tr
 }
@@ -188,7 +188,7 @@ func TestPerfectAbsorbsCapacityMisses(t *testing.T) {
 	for b := 0; b < blocks; b += config.BlocksPerPage {
 		home = append(home, wr(uint64(b)))
 	}
-	tr.CPUs[0] = home
+	tr.CPUs[0] = trace.StreamOf(home...)
 
 	perfect := run(t, PerfectCCNUMA(), tr)
 	p1 := perfect.Stats().Nodes[1]
@@ -319,7 +319,7 @@ func TestVerifyAfterMixedWorkload(t *testing.T) {
 
 func TestTraceCPUMismatch(t *testing.T) {
 	m := mk(t, CCNUMA())
-	bad := &trace.Trace{Name: "bad", CPUs: make([][]trace.Op, 4), Footprint: 4096}
+	bad := &trace.Trace{Name: "bad", CPUs: make([]trace.Stream, 4), Footprint: 4096}
 	if err := m.Execute(bad); err == nil {
 		t.Error("trace with wrong cpu count accepted")
 	}

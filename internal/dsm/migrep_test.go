@@ -86,9 +86,9 @@ func TestWriteToReplicatedPageCollapses(t *testing.T) {
 	// region after a final barrier.
 	last := uint64(0)
 	for cpu := range tr.CPUs {
-		tr.CPUs[cpu] = append(tr.CPUs[cpu], trace.Op{Kind: trace.Barrier, Arg: 9999})
+		tr.CPUs[cpu].Append(trace.Op{Kind: trace.Barrier, Arg: 9999})
 	}
-	tr.CPUs[8] = append(tr.CPUs[8], trace.Op{Kind: trace.Write, Arg: last})
+	tr.CPUs[8].Append(trace.Op{Kind: trace.Write, Arg: last})
 
 	sim, err := Run(tr, MigRep(), config.DefaultCluster(), config.Default(), config.DefaultThresholds())
 	if err != nil {

@@ -54,6 +54,11 @@ func RunWithOptions(tr *trace.Trace, spec Spec, cl config.Cluster, tm config.Tim
 // a single sift restores order afterwards, instead of a full pop and
 // push per trace op. Dispatch order is identical either way — the heap
 // always surfaces the unique (Clock, ID) minimum.
+//
+// Replay streams each CPU's three trace columns (kind, gap, arg)
+// directly: one byte-wide kind load steers the dispatch switch and the
+// gap and arg columns are touched at their natural widths, instead of
+// striding an array of padded 16-byte Op structs.
 func (m *Machine) Execute(tr *trace.Trace) error {
 	if tr.NumCPUs() != m.cl.TotalCPUs() {
 		return fmt.Errorf("dsm: trace has %d cpus, machine has %d", tr.NumCPUs(), m.cl.TotalCPUs())
@@ -66,13 +71,15 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 		if c == nil {
 			return fmt.Errorf("dsm: deadlock: no runnable cpu (%s)", tr.Name)
 		}
-		ops := tr.CPUs[c.ID]
-		if pos[c.ID] >= len(ops) {
+		ops := &tr.CPUs[c.ID]
+		i := pos[c.ID]
+		if i >= len(ops.Kinds) {
 			sched.Retire(c)
 			continue
 		}
-		op := ops[pos[c.ID]]
 		pos[c.ID]++
+		kind := ops.Kinds[i]
+		arg := ops.Args[i]
 		if m.auditing {
 			// The scheduler dispatches events in nondecreasing time
 			// order; the dispatched clock (plus any trace gap) is the
@@ -83,17 +90,17 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 			}
 			m.lastDispatch = c.Clock
 		}
-		c.Clock += int64(op.Gap)
+		c.Clock += int64(ops.Gaps[i])
 		if m.auditing {
 			m.fabric.SetAuditFloor(c.Clock)
 		}
 
-		switch op.Kind {
+		switch kind {
 		case trace.Read:
-			m.access(c, memory.Block(op.Arg), false)
+			m.access(c, memory.Block(arg), false)
 			sched.Requeue(c)
 		case trace.Write:
-			m.access(c, memory.Block(op.Arg), true)
+			m.access(c, memory.Block(arg), true)
 			sched.Requeue(c)
 		case trace.Barrier:
 			arrive := c.Clock
@@ -111,17 +118,17 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 			}
 			sched.Requeue(c)
 		case trace.Lock:
-			l := m.lock(op.Arg)
+			l := m.lock(arg)
 			before := c.Clock
 			if !l.Acquire(c) {
 				sched.Park(c)
 				continue
 			}
-			m.chargeLock(c, op.Arg, before)
+			m.chargeLock(c, arg, before)
 			sched.Requeue(c)
 		case trace.Unlock:
-			l := m.lock(op.Arg)
-			m.lockOwn[op.Arg] = m.nodeOf(c.ID)
+			l := m.lock(arg)
+			m.lockOwn[arg] = m.nodeOf(c.ID)
 			if next := l.Release(c.Clock); next != nil {
 				// Charge the new holder before requeueing it: the
 				// scheduler heap is keyed by clock, so the clock must
@@ -132,7 +139,7 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 				if granted > next.Clock {
 					next.Clock = granted
 				}
-				m.chargeLock(next, op.Arg, granted)
+				m.chargeLock(next, arg, granted)
 				sched.Unblock(next, next.Clock)
 			}
 			sched.Requeue(c)
@@ -152,7 +159,7 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 		case trace.Pad:
 			sched.Requeue(c)
 		default:
-			return fmt.Errorf("dsm: unknown op kind %v", op.Kind)
+			return fmt.Errorf("dsm: unknown op kind %v", kind)
 		}
 	}
 	m.st.ExecCycles = sched.MaxClock()

@@ -16,13 +16,13 @@ func TestBarrierSynchronizesAllCPUs(t *testing.T) {
 	// Every CPU pads a different amount, then hits a barrier, then does
 	// one local access. Execution time = slowest pad + barrier overhead
 	// + the (serialized) accesses.
-	tr := &trace.Trace{Name: "barrier", CPUs: make([][]trace.Op, 32), Footprint: 1 << 20}
+	tr := &trace.Trace{Name: "barrier", CPUs: make([]trace.Stream, 32), Footprint: 1 << 20}
 	for cpu := 0; cpu < 32; cpu++ {
-		tr.CPUs[cpu] = []trace.Op{
-			{Kind: trace.Pad, Gap: uint32(1000 * (cpu + 1))},
+		tr.CPUs[cpu] = trace.StreamOf(
+			trace.Op{Kind: trace.Pad, Gap: uint32(1000 * (cpu + 1))},
 			barrierOp(0, 0),
-			rd(uint64(cpu * config.BlocksPerPage)), // own page
-		}
+			rd(uint64(cpu*config.BlocksPerPage)), // own page
+		)
 	}
 	m := run(t, CCNUMA(), tr)
 	tm := config.Default()
@@ -44,13 +44,13 @@ func TestBarrierSynchronizesAllCPUs(t *testing.T) {
 func TestLockSerializesCriticalSections(t *testing.T) {
 	// All 32 CPUs take the same lock and pad 1000 cycles inside: the
 	// sections must serialize, so execution takes at least 32*1000.
-	tr := &trace.Trace{Name: "locks", CPUs: make([][]trace.Op, 32), Footprint: 1 << 16}
+	tr := &trace.Trace{Name: "locks", CPUs: make([]trace.Stream, 32), Footprint: 1 << 16}
 	for cpu := 0; cpu < 32; cpu++ {
-		tr.CPUs[cpu] = []trace.Op{
-			{Kind: trace.Lock, Arg: 0},
-			{Kind: trace.Pad, Gap: 1000},
-			{Kind: trace.Unlock, Arg: 0},
-		}
+		tr.CPUs[cpu] = trace.StreamOf(
+			trace.Op{Kind: trace.Lock, Arg: 0},
+			trace.Op{Kind: trace.Pad, Gap: 1000},
+			trace.Op{Kind: trace.Unlock, Arg: 0},
+		)
 	}
 	m := run(t, CCNUMA(), tr)
 	if got := m.Stats().ExecCycles; got < 32*1000 {
@@ -190,7 +190,7 @@ func TestLockStatsExposed(t *testing.T) {
 // suite (radix, lu, migratory) never take a lock, so this trace is the
 // only lock coverage under audit.
 func TestContendedLocksKeepDispatchOrder(t *testing.T) {
-	tr := &trace.Trace{Name: "lockstorm", CPUs: make([][]trace.Op, 32), Footprint: 1 << 18}
+	tr := &trace.Trace{Name: "lockstorm", CPUs: make([]trace.Stream, 32), Footprint: 1 << 18}
 	for cpu := 0; cpu < 32; cpu++ {
 		var ops []trace.Op
 		if cpu < 16 {
@@ -211,7 +211,7 @@ func TestContendedLocksKeepDispatchOrder(t *testing.T) {
 				ops = append(ops, trace.Op{Kind: trace.Pad, Gap: 13})
 			}
 		}
-		tr.CPUs[cpu] = ops
+		tr.CPUs[cpu] = trace.StreamOf(ops...)
 	}
 	m, err := NewMachine(CCNUMA(), config.DefaultCluster(), config.Default(),
 		config.DefaultThresholds(), tr.Footprint, tr.Name)

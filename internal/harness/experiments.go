@@ -196,12 +196,18 @@ func Fig8(o Options) (*Result, error) {
 	return r, nil
 }
 
-// Experiments lists the runnable experiment names.
+// Experiments lists the experiment names an "all" run executes: the
+// paper's figures and tables plus the topology sweep. The scale sweep
+// ("scalesweep") is runnable by name but deliberately not part of
+// "all": it re-runs Figure 5 at several problem scales, which both
+// multiplies runtime and keyed-output volume, and an "all" pass is the
+// baseline whose text/CSV/JSON must stay comparable across PRs.
 func Experiments() []string {
 	return []string{"fig5", "table4", "fig6", "fig7", "fig8", "toposweep"}
 }
 
-// RunByName dispatches one experiment.
+// RunByName dispatches one experiment (any Experiments() name, plus
+// "scalesweep").
 func RunByName(name string, o Options) (*Result, error) {
 	switch name {
 	case "fig5":
@@ -216,7 +222,9 @@ func RunByName(name string, o Options) (*Result, error) {
 		return Fig8(o)
 	case "toposweep":
 		return TopoSweep(o)
+	case "scalesweep":
+		return ScaleSweep(o)
 	default:
-		return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", name, Experiments())
+		return nil, fmt.Errorf("harness: unknown experiment %q (have %v, scalesweep)", name, Experiments())
 	}
 }

@@ -55,6 +55,11 @@ type Options struct {
 	// system on every fabric.
 	Systems []string
 
+	// Scales lists the problem scales the scale-sweep experiment runs
+	// (nil = DefaultSweepScales). Ignored by every other experiment,
+	// which size themselves from Scale.
+	Scales []int
+
 	// Parallel runs the per-application system sets concurrently using
 	// this many workers (0 = serial). Simulations are deterministic and
 	// independent, so this only affects wall-clock time.

@@ -5,61 +5,111 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/trace"
+	"repro/internal/trace/store"
 )
 
 // TraceCache shares generated application traces across experiments.
-// Workload generation is deterministic for a given (app, cpus, scale),
-// and replay never mutates a trace, so one generated trace can back
-// every system and every experiment that asks for the same workload.
+// Workload generation is deterministic for a given (app, cpus, scale,
+// seed), and replay never mutates a trace, so one materialized trace
+// can back every system and every experiment that asks for the same
+// workload.
+//
+// Requests are single-flight: when several workers ask for the same
+// key concurrently, exactly one runs the generator (or the disk load)
+// and the rest block until its result lands — without single-flight, a
+// parallel sweep's workers would each regenerate the same workload and
+// race to install it.
+//
+// A cache built with NewTraceCacheWithStore additionally reads through
+// to a content-addressed on-disk trace store (internal/trace/store):
+// misses try the store before generating, and generated traces are
+// written back, so repeat CLI runs and sibling processes materialize
+// workloads from disk instead of re-running generators.
+//
 // The zero value is unusable; a nil *TraceCache disables caching
 // (every call generates afresh), which keeps the cache strictly
 // opt-in for callers that want cold-generation timings.
 type TraceCache struct {
 	mu sync.Mutex
-	m  map[traceKey]*trace.Trace
+	// m is keyed directly on the store's content-address key — the
+	// in-memory and on-disk tiers identify a workload by the same
+	// (app, cpus, scale, seed) tuple by construction.
+	m map[store.Key]*traceEntry
+
+	// disk is the optional persistent tier (nil = memory only; a nil
+	// *store.Store behaves as always-miss, so no nil checks downstream).
+	disk *store.Store
 }
 
-type traceKey struct {
-	app   string
-	cpus  int
-	scale int
-	seed  uint64
+// traceEntry is one in-flight or completed materialization. done closes
+// when tr/err are final.
+type traceEntry struct {
+	done chan struct{}
+	tr   *trace.Trace
+	err  error
 }
 
-// NewTraceCache returns an empty cache.
+// NewTraceCache returns an empty in-memory cache.
 func NewTraceCache() *TraceCache {
-	return &TraceCache{m: make(map[traceKey]*trace.Trace)}
+	return &TraceCache{m: make(map[store.Key]*traceEntry)}
 }
 
-// Len returns the number of cached traces.
+// NewTraceCacheWithStore returns a cache backed by an on-disk trace
+// store. A nil store is equivalent to NewTraceCache.
+func NewTraceCacheWithStore(st *store.Store) *TraceCache {
+	tc := NewTraceCache()
+	tc.disk = st
+	return tc
+}
+
+// Len returns the number of completed cached traces.
 func (tc *TraceCache) Len() int {
 	if tc == nil {
 		return 0
 	}
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
-	return len(tc.m)
+	n := 0
+	for _, e := range tc.m {
+		select {
+		case <-e.done:
+			n++
+		default:
+		}
+	}
+	return n
 }
 
-// generate returns the cached trace for (app, params), generating and
-// caching it on first use. A nil receiver generates without caching.
+// generate returns the cached trace for (app, params), materializing
+// (disk load, else generation) and caching it on first use; concurrent
+// requests for the same key share one materialization. A nil receiver
+// generates without caching.
 func (tc *TraceCache) generate(app apps.Info, p apps.Params) (*trace.Trace, error) {
 	if tc == nil {
 		return app.Generate(p)
 	}
-	key := traceKey{app: app.Name, cpus: p.CPUs, scale: p.Scale, seed: p.Seed}
+	key := store.Key{App: app.Name, CPUs: p.CPUs, Scale: p.Scale, Seed: p.Seed}
 	tc.mu.Lock()
-	tr := tc.m[key]
-	tc.mu.Unlock()
-	if tr != nil {
-		return tr, nil
+	if e, ok := tc.m[key]; ok {
+		tc.mu.Unlock()
+		<-e.done
+		return e.tr, e.err
 	}
-	tr, err := app.Generate(p)
-	if err != nil {
-		return nil, err
-	}
-	tc.mu.Lock()
-	tc.m[key] = tr
+	e := &traceEntry{done: make(chan struct{})}
+	tc.m[key] = e
 	tc.mu.Unlock()
-	return tr, nil
+
+	e.tr, _, e.err = tc.disk.LoadOrGenerate(key, func() (*trace.Trace, error) {
+		return app.Generate(p)
+	})
+	if e.err != nil {
+		// Failed generations are not cached: drop the entry so a later
+		// request (possibly under different conditions) can retry. The
+		// waiters blocked on this flight still observe the error.
+		tc.mu.Lock()
+		delete(tc.m, key)
+		tc.mu.Unlock()
+	}
+	close(e.done)
+	return e.tr, e.err
 }

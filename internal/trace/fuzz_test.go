@@ -44,7 +44,7 @@ func seedFromApp(tb testing.TB, name string, maxSteps int) []byte {
 	}
 	var out []byte
 	steps := 0
-	for _, op := range tr.CPUs[0] {
+	for _, op := range tr.CPUs[0].Ops() {
 		if steps >= maxSteps {
 			break
 		}
@@ -138,7 +138,7 @@ func FuzzRecorderCoalescing(f *testing.F) {
 				appendSync(trace.Phase, 0)
 			}
 		}
-		ops := r.Finish()
+		ops := r.Finish().Ops()
 
 		var gotGaps uint64
 		j := 0
@@ -174,33 +174,33 @@ func FuzzTraceValidate(f *testing.F) {
 	f.Add(seedFromApp(f, "radix", 256), seedFromApp(f, "radix", 256))
 	f.Add(seedFromApp(f, "lu", 256), seedFromApp(f, "migratory", 256))
 
-	decode := func(data []byte) []trace.Op {
-		var ops []trace.Op
+	decode := func(data []byte) trace.Stream {
+		var ops trace.Stream
 		for i := 0; i+2 < len(data); i += 3 {
 			op := data[i] % fzOps
 			arg := uint64(data[i+1])<<8 | uint64(data[i+2])
 			switch op {
 			case fzRead:
-				ops = append(ops, trace.Op{Kind: trace.Read, Arg: arg})
+				ops.Append(trace.Op{Kind: trace.Read, Arg: arg})
 			case fzWrite:
-				ops = append(ops, trace.Op{Kind: trace.Write, Arg: arg})
+				ops.Append(trace.Op{Kind: trace.Write, Arg: arg})
 			case fzCompute:
-				ops = append(ops, trace.Op{Kind: trace.Pad, Gap: uint32(arg)})
+				ops.Append(trace.Op{Kind: trace.Pad, Gap: uint32(arg)})
 			case fzBarrier:
-				ops = append(ops, trace.Op{Kind: trace.Barrier, Arg: arg})
+				ops.Append(trace.Op{Kind: trace.Barrier, Arg: arg})
 			case fzLock:
-				ops = append(ops, trace.Op{Kind: trace.Lock, Arg: arg})
+				ops.Append(trace.Op{Kind: trace.Lock, Arg: arg})
 			case fzUnlock:
-				ops = append(ops, trace.Op{Kind: trace.Unlock, Arg: arg})
+				ops.Append(trace.Op{Kind: trace.Unlock, Arg: arg})
 			case fzPhase:
-				ops = append(ops, trace.Op{Kind: trace.Phase})
+				ops.Append(trace.Op{Kind: trace.Phase})
 			}
 		}
 		return ops
 	}
 
 	f.Fuzz(func(t *testing.T, a, b []byte) {
-		tr := &trace.Trace{Name: "fuzz", CPUs: [][]trace.Op{decode(a), decode(b)}}
+		tr := &trace.Trace{Name: "fuzz", CPUs: []trace.Stream{decode(a), decode(b)}}
 		err1 := tr.Validate()
 		err2 := tr.Validate()
 		if (err1 == nil) != (err2 == nil) {

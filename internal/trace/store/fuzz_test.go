@@ -1,0 +1,72 @@
+package store_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/trace"
+	"repro/internal/trace/store"
+)
+
+// FuzzDecode feeds the binary decoder hostile bytes: any input must
+// either decode to a structurally sound trace or return an error —
+// never panic, never over-allocate past what the payload backs, and
+// decoding must be deterministic. Valid encodings seed the corpus so
+// mutation explores the interesting boundary just past the checksum
+// (Reseal keeps mutated headers reachable).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("DTRC\x01"))
+	for _, name := range []string{"radix", "migratory"} {
+		info, err := apps.ByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		tr, err := info.Generate(apps.Params{CPUs: 8, Scale: 64})
+		if err != nil {
+			f.Fatal(err)
+		}
+		enc := store.Encode(tr)
+		f.Add(enc)
+		f.Add(enc[:len(enc)/2])
+		// A resealed tail-chop passes the CRC but is structurally short.
+		f.Add(store.Reseal(enc[:len(enc)-8]))
+	}
+	f.Add(store.Reseal([]byte("DTRC\x01\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01xxxx")))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr1, err1 := store.Decode(data)
+		tr2, err2 := store.Decode(store.Reseal(append([]byte(nil), data...)))
+		// Resealing only bypasses the checksum; the structural verdict
+		// on the same body must not change.
+		if (err1 == nil) != (err2 == nil) && err1 != nil && err1.Error() != "store: checksum mismatch" {
+			t.Fatalf("reseal changed verdict: %v vs %v", err1, err2)
+		}
+		for _, tr := range []*trace.Trace{tr1, tr2} {
+			if tr == nil {
+				continue
+			}
+			// A successful decode must be internally consistent: equal
+			// column lengths, in-range kinds.
+			for cpu := range tr.CPUs {
+				s := &tr.CPUs[cpu]
+				if len(s.Kinds) != len(s.Gaps) || len(s.Kinds) != len(s.Args) {
+					t.Fatalf("cpu %d: ragged columns %d/%d/%d", cpu, len(s.Kinds), len(s.Gaps), len(s.Args))
+				}
+				for _, k := range s.Kinds {
+					if int(k) >= trace.KindCount {
+						t.Fatalf("cpu %d: out-of-range kind %d survived decode", cpu, k)
+					}
+				}
+			}
+			// And re-encoding a decoded trace must round-trip exactly.
+			back, err := store.Decode(store.Encode(tr))
+			if err != nil {
+				t.Fatalf("re-encode of decoded trace rejected: %v", err)
+			}
+			if !back.Equal(tr) {
+				t.Fatal("decode->encode->decode not a fixed point")
+			}
+		}
+	})
+}

@@ -9,6 +9,20 @@
 // carried as a compute gap on the next op. Synchronization (barriers,
 // locks) appears inline so the replay engine can preserve inter-processor
 // dependences in simulated time.
+//
+// # Columnar representation
+//
+// Each processor's stream is stored column-wise (struct of arrays): a
+// Stream holds three dense columns — Kinds ([]Kind, one byte per op),
+// Gaps ([]uint32) and Args ([]uint64) — instead of a slice of 16-byte Op
+// structs. Replay walks the three columns directly (13 B/op of payload,
+// no padding, and the kind column alone fits ~64 ops per cache line),
+// generation appends straight into the columns through the Recorder, and
+// the on-disk format of trace/store serializes each column independently
+// so per-CPU sections encode and decode in parallel. The Op struct
+// survives as the row-at-a-time view: Stream.Op(i), Stream.Append and
+// Cursor assemble or scatter rows at the column boundary, which is the
+// convenient form for tests and hand-built traces.
 package trace
 
 import (
@@ -36,6 +50,9 @@ const (
 	Phase
 	// Pad carries trailing compute time with no memory or sync effect.
 	Pad
+
+	// KindCount is the number of valid kinds (decoder bound).
+	KindCount = int(Pad) + 1
 )
 
 // String names the kind.
@@ -60,13 +77,112 @@ func (k Kind) String() string {
 	}
 }
 
-// Op is one trace operation. For Read/Write, Arg is the global block
-// number; for Barrier/Lock/Unlock it is the barrier or lock id. Gap is
-// the compute time in cycles spent before this op issues.
+// Op is the row-at-a-time view of one trace operation. For Read/Write,
+// Arg is the global block number; for Barrier/Lock/Unlock it is the
+// barrier or lock id. Gap is the compute time in cycles spent before
+// this op issues.
 type Op struct {
 	Kind Kind
 	Gap  uint32
 	Arg  uint64
+}
+
+// Stream is one processor's op sequence in columnar form. The three
+// columns always have equal length; index i across them is op i.
+type Stream struct {
+	Kinds []Kind
+	Gaps  []uint32
+	Args  []uint64
+}
+
+// StreamOf builds a stream from rows (test and hand-built-trace helper).
+func StreamOf(ops ...Op) Stream {
+	var s Stream
+	s.Grow(len(ops))
+	for _, op := range ops {
+		s.Append(op)
+	}
+	return s
+}
+
+// Len returns the op count.
+func (s Stream) Len() int { return len(s.Kinds) }
+
+// Op assembles row i from the columns.
+func (s Stream) Op(i int) Op {
+	return Op{Kind: s.Kinds[i], Gap: s.Gaps[i], Arg: s.Args[i]}
+}
+
+// Append scatters one row onto the columns.
+func (s *Stream) Append(op Op) {
+	s.Kinds = append(s.Kinds, op.Kind)
+	s.Gaps = append(s.Gaps, op.Gap)
+	s.Args = append(s.Args, op.Arg)
+}
+
+// Grow reserves capacity for n additional ops.
+func (s *Stream) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	if cap(s.Kinds)-len(s.Kinds) < n {
+		kinds := make([]Kind, len(s.Kinds), len(s.Kinds)+n)
+		copy(kinds, s.Kinds)
+		s.Kinds = kinds
+	}
+	if cap(s.Gaps)-len(s.Gaps) < n {
+		gaps := make([]uint32, len(s.Gaps), len(s.Gaps)+n)
+		copy(gaps, s.Gaps)
+		s.Gaps = gaps
+	}
+	if cap(s.Args)-len(s.Args) < n {
+		args := make([]uint64, len(s.Args), len(s.Args)+n)
+		copy(args, s.Args)
+		s.Args = args
+	}
+}
+
+// Ops materializes the stream as rows (tests and the AoS baseline
+// benchmark; the replay engine streams the columns directly).
+func (s Stream) Ops() []Op {
+	out := make([]Op, s.Len())
+	for i := range out {
+		out[i] = s.Op(i)
+	}
+	return out
+}
+
+// Equal reports whether two streams hold the same op sequence.
+func (s Stream) Equal(o Stream) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for i := range s.Kinds {
+		if s.Kinds[i] != o.Kinds[i] || s.Gaps[i] != o.Gaps[i] || s.Args[i] != o.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cursor iterates a stream row by row. The columns are shared with the
+// underlying stream, not copied.
+type Cursor struct {
+	s Stream
+	i int
+}
+
+// Cursor returns an iterator positioned before the first op.
+func (s Stream) Cursor() Cursor { return Cursor{s: s} }
+
+// Next returns the next op, or ok=false past the end.
+func (c *Cursor) Next() (op Op, ok bool) {
+	if c.i >= c.s.Len() {
+		return Op{}, false
+	}
+	op = c.s.Op(c.i)
+	c.i++
+	return op, true
 }
 
 // Trace is a complete multi-processor trace.
@@ -74,8 +190,8 @@ type Trace struct {
 	// Name identifies the generating application and its parameters.
 	Name string
 
-	// CPUs holds one op stream per processor.
-	CPUs [][]Op
+	// CPUs holds one columnar op stream per processor.
+	CPUs []Stream
 
 	// Barriers is the number of distinct barrier episodes (for
 	// validation).
@@ -94,10 +210,25 @@ func (t *Trace) NumCPUs() int { return len(t.CPUs) }
 // Ops returns the total op count over all processors.
 func (t *Trace) Ops() int {
 	n := 0
-	for _, s := range t.CPUs {
-		n += len(s)
+	for i := range t.CPUs {
+		n += t.CPUs[i].Len()
 	}
 	return n
+}
+
+// Equal reports whether two traces are identical in metadata and op
+// content (store round-trip check).
+func (t *Trace) Equal(o *Trace) bool {
+	if t.Name != o.Name || t.Barriers != o.Barriers || t.Locks != o.Locks ||
+		t.Footprint != o.Footprint || len(t.CPUs) != len(o.CPUs) {
+		return false
+	}
+	for i := range t.CPUs {
+		if !t.CPUs[i].Equal(o.CPUs[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Validate checks structural invariants: barrier sequences must be
@@ -107,23 +238,24 @@ func (t *Trace) Ops() int {
 // at a time per id.
 func (t *Trace) Validate() error {
 	var ref []uint64
-	for cpu, ops := range t.CPUs {
+	for cpu := range t.CPUs {
+		s := &t.CPUs[cpu]
 		var barriers []uint64
 		held := map[uint64]bool{}
-		for i, op := range ops {
-			switch op.Kind {
+		for i, k := range s.Kinds {
+			switch k {
 			case Barrier:
-				barriers = append(barriers, op.Arg)
+				barriers = append(barriers, s.Args[i])
 			case Lock:
-				if held[op.Arg] {
-					return fmt.Errorf("trace %s: cpu %d op %d: recursive lock %d", t.Name, cpu, i, op.Arg)
+				if held[s.Args[i]] {
+					return fmt.Errorf("trace %s: cpu %d op %d: recursive lock %d", t.Name, cpu, i, s.Args[i])
 				}
-				held[op.Arg] = true
+				held[s.Args[i]] = true
 			case Unlock:
-				if !held[op.Arg] {
-					return fmt.Errorf("trace %s: cpu %d op %d: unlock of unheld lock %d", t.Name, cpu, i, op.Arg)
+				if !held[s.Args[i]] {
+					return fmt.Errorf("trace %s: cpu %d op %d: unlock of unheld lock %d", t.Name, cpu, i, s.Args[i])
 				}
-				delete(held, op.Arg)
+				delete(held, s.Args[i])
 			}
 		}
 		if len(held) != 0 {
@@ -147,10 +279,10 @@ func (t *Trace) Validate() error {
 }
 
 // Recorder builds one processor's op stream with same-block run
-// coalescing. It is the only way application generators should emit
-// memory references.
+// coalescing, appending directly into the stream's columns. It is the
+// only way application generators should emit memory references.
 type Recorder struct {
-	ops []Op
+	s Stream
 
 	// pending is compute time accumulated before the next emitted op.
 	pending uint64
@@ -173,10 +305,10 @@ const maxGap = 1<<32 - 1
 // into leading Pad ops.
 func (r *Recorder) emit(k Kind, arg uint64) {
 	for r.pending > maxGap {
-		r.ops = append(r.ops, Op{Kind: Pad, Gap: maxGap})
+		r.s.Append(Op{Kind: Pad, Gap: maxGap})
 		r.pending -= maxGap
 	}
-	r.ops = append(r.ops, Op{Kind: k, Gap: uint32(r.pending), Arg: arg})
+	r.s.Append(Op{Kind: k, Gap: uint32(r.pending), Arg: arg})
 	r.pending = 0
 }
 
@@ -250,17 +382,17 @@ func (r *Recorder) Phase() {
 	r.emit(Phase, 0)
 }
 
-// Finish flushes any pending run and returns the op stream. The recorder
-// must not be used afterwards.
-func (r *Recorder) Finish() []Op {
+// Finish flushes any pending run and returns the columnar stream. The
+// recorder must not be used afterwards.
+func (r *Recorder) Finish() Stream {
 	r.flushRun()
 	if r.pending > 0 {
 		// Trailing pure compute only matters for execution time; carry
 		// it on a Pad op.
 		r.emit(Pad, 0)
 	}
-	return r.ops
+	return r.s
 }
 
 // Len returns the number of ops emitted so far (excluding a pending run).
-func (r *Recorder) Len() int { return len(r.ops) }
+func (r *Recorder) Len() int { return r.s.Len() }

@@ -15,7 +15,7 @@ func TestRecorderCoalescesSameBlock(t *testing.T) {
 		r.Access(memory.Addr(i*8), false)
 	}
 	r.Access(memory.Addr(config.BlockBytes), true) // next block
-	ops := r.Finish()
+	ops := r.Finish().Ops()
 	if len(ops) != 2 {
 		t.Fatalf("got %d ops, want 2", len(ops))
 	}
@@ -35,7 +35,7 @@ func TestRecorderReadThenWriteBecomesWrite(t *testing.T) {
 	r := NewRecorder()
 	r.Access(0, false)
 	r.Access(8, true) // same block
-	ops := r.Finish()
+	ops := r.Finish().Ops()
 	// One exclusive access; the merged hit's cycle trails as a pad.
 	if len(ops) != 2 || ops[0].Kind != Write || ops[1].Kind != Pad || ops[1].Gap != 1 {
 		t.Fatalf("ops = %+v, want write then pad(1)", ops)
@@ -47,7 +47,7 @@ func TestRecorderComputeAttachesToNextOp(t *testing.T) {
 	r.Access(0, false)
 	r.Compute(100)
 	r.Access(memory.Addr(config.BlockBytes), false)
-	ops := r.Finish()
+	ops := r.Finish().Ops()
 	if len(ops) != 2 {
 		t.Fatalf("got %d ops, want 2", len(ops))
 	}
@@ -60,7 +60,7 @@ func TestRecorderTrailingComputeBecomesPad(t *testing.T) {
 	r := NewRecorder()
 	r.Access(0, true)
 	r.Compute(55)
-	ops := r.Finish()
+	ops := r.Finish().Ops()
 	if len(ops) != 2 || ops[1].Kind != Pad || ops[1].Gap != 55 {
 		t.Fatalf("ops = %+v, want write then pad(55)", ops)
 	}
@@ -71,7 +71,7 @@ func TestRecorderSyncFlushesRun(t *testing.T) {
 	r.Access(0, false)
 	r.Barrier(3)
 	r.Access(0, false) // same block again: new run after the barrier
-	ops := r.Finish()
+	ops := r.Finish().Ops()
 	if len(ops) != 3 {
 		t.Fatalf("got %d ops, want 3", len(ops))
 	}
@@ -85,7 +85,7 @@ func TestRecorderLockUnlock(t *testing.T) {
 	r.Lock(2)
 	r.Access(0, true)
 	r.Unlock(2)
-	ops := r.Finish()
+	ops := r.Finish().Ops()
 	if len(ops) != 3 || ops[0].Kind != Lock || ops[2].Kind != Unlock {
 		t.Fatalf("ops = %+v", ops)
 	}
@@ -94,9 +94,9 @@ func TestRecorderLockUnlock(t *testing.T) {
 func TestValidateCatchesBarrierMismatch(t *testing.T) {
 	tr := &Trace{
 		Name: "bad",
-		CPUs: [][]Op{
-			{{Kind: Barrier, Arg: 0}},
-			{{Kind: Barrier, Arg: 1}},
+		CPUs: []Stream{
+			StreamOf(Op{Kind: Barrier, Arg: 0}),
+			StreamOf(Op{Kind: Barrier, Arg: 1}),
 		},
 	}
 	if err := tr.Validate(); err == nil {
@@ -104,8 +104,8 @@ func TestValidateCatchesBarrierMismatch(t *testing.T) {
 	}
 	tr2 := &Trace{
 		Name: "bad2",
-		CPUs: [][]Op{
-			{{Kind: Barrier, Arg: 0}},
+		CPUs: []Stream{
+			StreamOf(Op{Kind: Barrier, Arg: 0}),
 			{},
 		},
 	}
@@ -117,21 +117,21 @@ func TestValidateCatchesBarrierMismatch(t *testing.T) {
 func TestValidateCatchesLockErrors(t *testing.T) {
 	recursive := &Trace{
 		Name: "rec",
-		CPUs: [][]Op{{{Kind: Lock, Arg: 1}, {Kind: Lock, Arg: 1}}},
+		CPUs: []Stream{StreamOf(Op{Kind: Lock, Arg: 1}, Op{Kind: Lock, Arg: 1})},
 	}
 	if err := recursive.Validate(); err == nil {
 		t.Error("recursive lock validated")
 	}
 	unheld := &Trace{
 		Name: "unheld",
-		CPUs: [][]Op{{{Kind: Unlock, Arg: 1}}},
+		CPUs: []Stream{StreamOf(Op{Kind: Unlock, Arg: 1})},
 	}
 	if err := unheld.Validate(); err == nil {
 		t.Error("unlock of unheld lock validated")
 	}
 	leaked := &Trace{
 		Name: "leak",
-		CPUs: [][]Op{{{Kind: Lock, Arg: 1}}},
+		CPUs: []Stream{StreamOf(Op{Kind: Lock, Arg: 1})},
 	}
 	if err := leaked.Validate(); err == nil {
 		t.Error("trace ending with a held lock validated")
@@ -141,9 +141,9 @@ func TestValidateCatchesLockErrors(t *testing.T) {
 func TestValidateAcceptsWellFormed(t *testing.T) {
 	tr := &Trace{
 		Name: "ok",
-		CPUs: [][]Op{
-			{{Kind: Lock, Arg: 0}, {Kind: Write, Arg: 5}, {Kind: Unlock, Arg: 0}, {Kind: Barrier, Arg: 0}},
-			{{Kind: Read, Arg: 9}, {Kind: Barrier, Arg: 0}},
+		CPUs: []Stream{
+			StreamOf(Op{Kind: Lock, Arg: 0}, Op{Kind: Write, Arg: 5}, Op{Kind: Unlock, Arg: 0}, Op{Kind: Barrier, Arg: 0}),
+			StreamOf(Op{Kind: Read, Arg: 9}, Op{Kind: Barrier, Arg: 0}),
 		},
 	}
 	if err := tr.Validate(); err != nil {
@@ -167,7 +167,7 @@ func TestRecorderOpCountNeverExceedsAccesses(t *testing.T) {
 				totalCompute += uint64(computes[i])
 			}
 		}
-		ops := r.Finish()
+		ops := r.Finish().Ops()
 		if len(ops) > len(addrs)+1 { // +1 for a possible trailing pad
 			return false
 		}
