@@ -26,18 +26,24 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
-// Report is the emitted JSON document.
+// Report is the emitted JSON document. The run-environment fields
+// (Go version, OS/arch, CPU budget, commit) make a committed baseline
+// interpretable later: a regression against numbers from a different
+// machine or build is a different conversation than one from the same.
 type Report struct {
-	Schema    string  `json:"schema"`
-	Created   string  `json:"created"`
-	GoVersion string  `json:"go_version"`
-	GOOS      string  `json:"goos"`
-	GOARCH    string  `json:"goarch"`
-	NumCPU    int     `json:"num_cpu"`
-	Benchtime string  `json:"benchtime"`
-	Results   []Entry `json:"results"`
+	Schema     string  `json:"schema"`
+	Created    string  `json:"created"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Commit     string  `json:"commit,omitempty"`
+	Benchtime  string  `json:"benchtime"`
+	Results    []Entry `json:"results"`
 }
 
 // Entry is one benchmark's outcome.
@@ -79,13 +85,15 @@ func main() {
 	}
 
 	rep := Report{
-		Schema:    "repro-bench-report/v1",
-		Created:   time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Benchtime: *benchtime,
+		Schema:     "repro-bench-report/v1",
+		Created:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Commit:     telemetry.BuildCommit(),
+		Benchtime:  *benchtime,
 	}
 
 	for _, c := range bench.Cases() {

@@ -6,6 +6,7 @@
 //	dsmsim -app lu -system rnuma [-scale 4] [-slow] [-netscale 4] [-audit=false]
 //	dsmsim -app lu -systems ccnuma,migrep,migrep-contend -normalize
 //	dsmsim -app radix -tracestore .tracestore   # reuse traces across runs
+//	dsmsim -app migratory -system migrep -telemetry out/ -timeline
 //	dsmsim -list
 //
 // Systems resolve through the dsm registry (see -list for names):
@@ -23,12 +24,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/config"
 	"repro/internal/dsm"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/trace/store"
 )
@@ -51,6 +55,10 @@ func main() {
 		perNode  = flag.Bool("pernode", false, "print the per-node statistics table")
 		list     = flag.Bool("list", false, "list applications and systems, then exit")
 		tsDir    = flag.String("tracestore", "", "directory of the on-disk trace store (empty = off; generation timings stay cold)")
+		telDir   = flag.String("telemetry", "", "collect time-resolved telemetry and write windowed-series CSVs and a run manifest into this directory")
+		timeline = flag.Bool("timeline", false, "with -telemetry, also record the page-operation timeline (Chrome trace JSON + CSV)")
+		window   = flag.Int64("window", 0, "telemetry window width in simulated cycles (0 = default, 2^20)")
+		progress = flag.Bool("progress", false, "log per-run completion with wall time to stderr")
 	)
 	flag.Parse()
 
@@ -95,8 +103,8 @@ func main() {
 			fail(err)
 		}
 	}
-	tr, hit, err := ts.LoadOrGenerate(
-		store.Key{App: app.Name, CPUs: params.CPUs, Scale: params.Scale, Seed: params.Seed},
+	key := store.Key{App: app.Name, CPUs: params.CPUs, Scale: params.Scale, Seed: params.Seed}
+	tr, hit, err := ts.LoadOrGenerate(key,
 		func() (*trace.Trace, error) { return app.Generate(params) })
 	if err != nil {
 		fail(err)
@@ -117,10 +125,22 @@ func main() {
 		}
 	}
 
+	start := time.Now()
 	for _, spec := range specs {
-		sim, err := dsm.RunWithOptions(tr, spec, cl, tm, th, dsm.RunOptions{Audit: *audit})
+		ro := dsm.RunOptions{Audit: *audit}
+		var col *telemetry.Collector
+		if *telDir != "" {
+			col = telemetry.New(telemetry.Config{Window: *window, Timeline: *timeline})
+			ro.Telemetry = col
+		}
+		runStart := time.Now()
+		sim, err := dsm.RunWithOptions(tr, spec, cl, tm, th, ro)
 		if err != nil {
 			fail(err)
+		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, "# run %s/%s done in %.2fs\n",
+				app.Name, spec.Name, time.Since(runStart).Seconds())
 		}
 		fmt.Print(sim.Summary())
 		if *perNode {
@@ -130,5 +150,63 @@ func main() {
 			fmt.Printf("  normalized:     %.3f vs perfect CC-NUMA (%d cycles)\n",
 				sim.Normalized(base), base.ExecCycles)
 		}
+		if col != nil {
+			if err := writeTelemetry(*telDir, app.Name, spec.Name, col); err != nil {
+				fail(err)
+			}
+		}
 	}
+	if *telDir != "" {
+		man := telemetry.NewManifest()
+		man.App = app.Name
+		man.Systems = names
+		man.Fabric = cl.Net.Kind()
+		man.Scale = *scale
+		man.Seed = params.Seed
+		man.Traces = []telemetry.TraceRef{{
+			App: key.App, CPUs: key.CPUs, Scale: key.Scale, Seed: key.Seed, Hash: key.Filename(),
+		}}
+		man.WindowCycles = *window
+		if man.WindowCycles <= 0 {
+			man.WindowCycles = telemetry.DefaultWindow
+		}
+		man.Timeline = *timeline
+		man.WallSeconds = time.Since(start).Seconds()
+		path := filepath.Join(*telDir, "dsmsim_"+app.Name+".manifest.json")
+		if err := man.WriteFile(path); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// writeTelemetry renders one run's collector into dir as
+// dsmsim_<app>_<system>.windows.csv plus, when the timeline was
+// recorded, .timeline.json (Chrome trace event format) and
+// .timeline.csv.
+func writeTelemetry(dir, app, system string, col *telemetry.Collector) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	stem := filepath.Join(dir, "dsmsim_"+app+"_"+system)
+	write := func(path string, render func(w *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(stem+".windows.csv", func(f *os.File) error { return col.WriteWindowsCSV(f) }); err != nil {
+		return err
+	}
+	if !col.TimelineEnabled() {
+		return nil
+	}
+	if err := write(stem+".timeline.json", func(f *os.File) error { return col.WriteChromeTrace(f) }); err != nil {
+		return err
+	}
+	return write(stem+".timeline.csv", func(f *os.File) error { return col.WriteTimelineCSV(f) })
 }

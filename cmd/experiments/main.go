@@ -14,6 +14,8 @@
 //	experiments -experiment params          # print the encoded Tables 2 and 3
 //	experiments -list-systems               # print the memory-system registry
 //	experiments -cpuprofile cpu.out -memprofile mem.out   # ad-hoc profiling
+//	experiments -telemetry out/ -timeline   # windowed series + Perfetto timelines
+//	experiments -progress                   # per-run completion lines on stderr
 //
 // Systems resolve through the dsm registry, so -systems accepts any
 // registered name — including systems that postdate the paper, such as
@@ -35,6 +37,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/config"
@@ -102,6 +105,10 @@ func run() error {
 		traceStore  = flag.String("tracestore", "", "directory of the on-disk trace store (empty = off; generation timings stay cold)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile  = flag.String("memprofile", "", "write a heap profile at exit to this file (go tool pprof)")
+		telemetry   = flag.String("telemetry", "", "collect time-resolved telemetry and write windowed-series CSVs and a run manifest into this directory")
+		timeline    = flag.Bool("timeline", false, "with -telemetry, also record per-run page-operation timelines (Chrome trace JSON + CSV)")
+		window      = flag.Int64("window", 0, "telemetry window width in simulated cycles (0 = default, 2^20)")
+		progress    = flag.Bool("progress", false, "log per-run completion with wall time to stderr")
 	)
 	flag.Parse()
 
@@ -162,6 +169,12 @@ func run() error {
 		Traces:   traces,
 		Out:      os.Stdout,
 	}
+	if *telemetry != "" {
+		o.Telemetry = &harness.TelemetryOptions{Window: *window, Timeline: *timeline}
+	}
+	if *progress {
+		o.Progress = os.Stderr
+	}
 	if *appsFlag != "" {
 		o.Apps = strings.Split(*appsFlag, ",")
 	}
@@ -197,9 +210,18 @@ func run() error {
 	}
 	var records []harness.Record
 	for _, n := range names {
+		expStart := time.Now()
 		r, err := harness.RunByName(n, o)
 		if err != nil {
 			return err
+		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, "# experiment %s done in %.2fs\n", n, time.Since(expStart).Seconds())
+		}
+		if *telemetry != "" {
+			if err := r.WriteTelemetry(*telemetry, time.Since(expStart)); err != nil {
+				return err
+			}
 		}
 		if csvFile != nil {
 			if err := r.WriteCSVRows(csvFile); err != nil {

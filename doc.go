@@ -47,6 +47,20 @@
 // bisection traffic — where migration/replication's bulk 4-KB page
 // moves congest links that fine-grain 64-byte caching does not.
 //
+// internal/telemetry adds time-resolved observability on top of the
+// end-of-run statistics: windowed series keyed by simulated time (page
+// operations by kind, misses by class, per-node traffic, per-link
+// fabric bytes, dispatches), a timeline of discrete page operations
+// exportable as Chrome trace-event JSON (loadable in Perfetto) and
+// CSV, and run manifests that pin each result to its exact inputs —
+// content-addressed trace hashes, systems, fabric, scale, seed, wall
+// time and build metadata. Collection is strictly observational
+// (byte-identical statistics with it on or off, a tested invariant)
+// and opt-in per run: -telemetry/-timeline/-window/-progress on both
+// CLIs, Options.Telemetry in the harness, RunOptions.Telemetry at the
+// dsm layer. Every windowed series sums exactly to its aggregate
+// counter, so the time-resolved view never disagrees with the tables.
+//
 // The simulator audits itself. Every page operation and asynchronous
 // writeback carries an explicit event time, and audit mode — on by
 // default in cmd/experiments and cmd/dsmsim (-audit=false disables),

@@ -62,6 +62,7 @@ func Cases() []Case {
 		{Name: "StoreGenerateCold", Bench: StoreGenerateCold},
 		{Name: "StoreMaterializeWarm", Bench: StoreMaterializeWarm},
 		{Name: "Fig5Sweep", Bench: Fig5Sweep, Guarded: true, Macro: true},
+		{Name: "Fig5SweepTelemetry", Bench: Fig5SweepTelemetry, Guarded: true, Macro: true},
 		{Name: "ScaleSweep32", Bench: ScaleSweep32, Macro: true},
 	}
 }
@@ -471,6 +472,39 @@ func Fig5Sweep(b *testing.B) {
 	run := func() {
 		r, err := harness.Fig5(harness.Options{
 			Scale: fig5Scale, Parallel: 4, Traces: traces, Out: io.Discard,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = 0
+		for _, app := range r.AppOrder {
+			for _, sys := range r.Systems {
+				if run := r.Runs[app][sys]; run != nil {
+					cycles += run.Stats.ExecCycles
+				}
+			}
+		}
+	}
+	run() // warm the trace cache outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+// Fig5SweepTelemetry is Fig5Sweep with time-resolved telemetry fully on
+// (windowed series plus the event timeline) — the committed baseline
+// pair pins the observability overhead: this case against Fig5Sweep is
+// the "<10% slower with telemetry" budget, checked directly by
+// TestTelemetryOverheadBudget.
+func Fig5SweepTelemetry(b *testing.B) {
+	traces := harness.NewTraceCache()
+	var cycles int64
+	run := func() {
+		r, err := harness.Fig5(harness.Options{
+			Scale: fig5Scale, Parallel: 4, Traces: traces, Out: io.Discard,
+			Telemetry: &harness.TelemetryOptions{Timeline: true},
 		})
 		if err != nil {
 			b.Fatal(err)

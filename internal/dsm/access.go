@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/memory"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // localAccess models an L1 miss satisfied on the node: a bus transaction
@@ -120,10 +121,12 @@ func (m *Machine) access(c *engine.CPU, b memory.Block, write bool) {
 	if e.Home != n && !m.mapped[n][p] {
 		m.mapped[n][p] = true
 		ns.PageFaults++
+		faultStart := c.Clock
 		// The fault traps, consults the home's mapper, and the reply
 		// returns over the fabric.
 		end := m.fabric.Traverse(n, e.Home, msgHeaderBytes, c.Clock+m.tm.SoftTrap)
 		var copyCost int64
+		copied := false
 		if e.Replicated && m.spec.Replication {
 			// An unmapped fault on a replicated page fetches a full
 			// read-only copy into local memory.
@@ -132,6 +135,11 @@ func (m *Machine) access(c *engine.CPU, b memory.Block, write bool) {
 			e.Mode[n] = memory.ModeReplica
 			ns.PageOps[stats.Replication]++
 			ns.TrafficBytes += int64(config.BlocksPerPage) * msgBlockBytes
+			if tl := m.tel; tl != nil {
+				tl.PageOp(stats.Replication, end)
+				tl.Traffic(n, int64(config.BlocksPerPage)*msgBlockBytes, end)
+			}
+			copied = true
 		} else if e.Mode[n] == memory.ModeUnmapped {
 			e.Mode[n] = memory.ModeCCNUMA
 		}
@@ -140,6 +148,12 @@ func (m *Machine) access(c *engine.CPU, b memory.Block, write bool) {
 		ns.TrafficBytes += 2 * msgHeaderBytes
 		c.Clock += lat
 		ns.PageOpCycles += lat
+		if tl := m.tel; tl != nil {
+			tl.Traffic(n, 2*msgHeaderBytes, end)
+			if copied {
+				tl.Event(telemetry.EvFaultCopy, uint64(p), e.Home, n, faultStart, c.Clock)
+			}
+		}
 		// Static-placement policies (AlwaysSCOMA) act on the fresh
 		// mapping.
 		m.pol.OnPageMapped(c, n, p)
@@ -184,6 +198,9 @@ func (m *Machine) upgrade(c *engine.CPU, n int, b memory.Block) {
 			msgHeaderBytes, msgHeaderBytes)
 		ns.Upgrades++
 		ns.TrafficBytes += 2 * msgHeaderBytes
+		if tl := m.tel; tl != nil {
+			tl.Traffic(n, 2*msgHeaderBytes, end)
+		}
 		m.invalidateSharers(n, h, b, remote, end)
 		ns.StallCycles += end - c.Clock
 		c.Clock = end
@@ -242,6 +259,9 @@ func (m *Machine) invalidateSharers(n, h int, b memory.Block, mask uint64, t int
 			ackBytes += msgBlockBytes - msgHeaderBytes
 			ns.TrafficBytes += msgBlockBytes - msgHeaderBytes
 		}
+		if tl := m.tel; tl != nil {
+			tl.Traffic(n, msgHeaderBytes+ackBytes, t)
+		}
 		// The ack leaves after the invalidation has crossed to s.
 		m.fabric.Deliver(s, h, ackBytes, t+m.wireLatency(h, s))
 	}
@@ -266,6 +286,9 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 	if m.l1count[n][b] > 0 && localOK {
 		end := m.localAccess(start, n)
 		ns.LocalMisses[cls]++
+		if tl := m.tel; tl != nil {
+			tl.Miss(cls, false, end)
+		}
 		m.advance(c, ns, end)
 		m.completeFill(c, n, b, write)
 		return
@@ -277,6 +300,9 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 			end := m.localAccess(start, n)
 			ns.LocalMisses[cls]++
 			ns.PageCacheHits++
+			if tl := m.tel; tl != nil {
+				tl.Miss(cls, false, end)
+			}
 			if write {
 				pe.Dirty |= 1 << uint(b.Index())
 			}
@@ -303,6 +329,10 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 			m.fabric.Deliver(owner, h, msgHeaderBytes+msgBlockBytes, back)
 			ns.RemoteMisses[cls]++
 			ns.TrafficBytes += 2*msgHeaderBytes + msgBlockBytes
+			if tl := m.tel; tl != nil {
+				tl.Miss(cls, true, end)
+				tl.Traffic(n, 2*msgHeaderBytes+msgBlockBytes, end)
+			}
 			m.retrieveDirty(n, owner, b, write)
 			m.advance(c, ns, end)
 			m.completeFill(c, n, b, write)
@@ -311,6 +341,9 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 		if localOK {
 			end := m.localAccess(start, n)
 			ns.LocalMisses[cls]++
+			if tl := m.tel; tl != nil {
+				tl.Miss(cls, false, end)
+			}
 			m.advance(c, ns, end)
 			m.completeFill(c, n, b, write)
 			return
@@ -320,6 +353,9 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 		end := m.roundTrip(start, n, h, m.ackWaveLatency(h, remote), 0, 0)
 		ns.Upgrades++
 		ns.LocalMisses[cls]++
+		if tl := m.tel; tl != nil {
+			tl.Miss(cls, false, end)
+		}
 		m.invalidateSharers(n, h, b, remote, end)
 		m.advance(c, ns, end)
 		m.completeFill(c, n, b, write)
@@ -330,6 +366,9 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 	if e.Mode[n] == memory.ModeReplica && !write {
 		end := m.localAccess(start, n)
 		ns.LocalMisses[cls]++
+		if tl := m.tel; tl != nil {
+			tl.Miss(cls, false, end)
+		}
 		m.advance(c, ns, end)
 		m.completeFill(c, n, b, write)
 		return
@@ -342,6 +381,9 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 			end := m.localAccess(start, n)
 			ns.LocalMisses[cls]++
 			ns.BlockCacheHits++
+			if tl := m.tel; tl != nil {
+				tl.Miss(cls, false, end)
+			}
 			m.advance(c, ns, end)
 			m.completeFill(c, n, b, write)
 			return
@@ -353,6 +395,9 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 			ns.Upgrades++
 			ns.BlockCacheHits++
 			ns.TrafficBytes += 2 * msgHeaderBytes
+			if tl := m.tel; tl != nil {
+				tl.Traffic(n, 2*msgHeaderBytes, end)
+			}
 			m.invalidateSharers(n, h, b, remote, end)
 			m.advance(c, ns, end)
 			m.pol.OnRemoteUpgrade(c, n, p)
@@ -380,11 +425,18 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 			m.fabric.Deliver(h, owner, msgHeaderBytes, back-m.wireLatency(h, owner))
 			m.fabric.Deliver(owner, h, msgHeaderBytes, back)
 			ns.TrafficBytes += 2 * msgHeaderBytes // forward + ack
+			if tl := m.tel; tl != nil {
+				tl.Traffic(n, 2*msgHeaderBytes, end)
+			}
 		}
 		m.retrieveDirty(n, owner, b, write)
 	}
 	ns.RemoteMisses[cls]++
 	ns.TrafficBytes += msgHeaderBytes + msgBlockBytes
+	if tl := m.tel; tl != nil {
+		tl.Miss(cls, true, end)
+		tl.Traffic(n, msgHeaderBytes+msgBlockBytes, end)
+	}
 	m.pageMissTotal[p]++
 	if write && remote != 0 {
 		m.invalidateSharers(n, h, b, remote, end)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/interconnect"
 	"repro/internal/memory"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Message sizes in bytes for traffic accounting.
@@ -114,6 +115,12 @@ type Machine struct {
 	auditing     bool
 	lastDispatch int64
 	violations   stats.ViolationLog
+
+	// tel, when non-nil, receives time-resolved telemetry (windowed
+	// series and the page-operation timeline) as the trace executes.
+	// Telemetry is observational: it changes no simulated behaviour,
+	// and the nil default costs one nil check per hook.
+	tel *telemetry.Collector
 
 	st *stats.Sim
 }
@@ -258,6 +265,30 @@ func (m *Machine) EnableAudit() {
 // detected (scheduler dispatch order, page-busy regressions); fabric
 // injection violations are reported by Fabric().Violations().
 func (m *Machine) AuditViolations() []string { return m.violations.All() }
+
+// AttachTelemetry binds a telemetry collector to the machine (and its
+// fabric): windowed series — page ops by kind, misses by class,
+// per-node traffic, per-link fabric bytes, dispatched ops — and, when
+// the collector records a timeline, the discrete page-operation events,
+// all keyed by simulated time. Telemetry changes no simulated
+// behaviour: an instrumented run produces byte-identical statistics,
+// and without a collector every hook reduces to a nil check.
+func (m *Machine) AttachTelemetry(c *telemetry.Collector) {
+	if c == nil {
+		return
+	}
+	links := m.fabric.Topology().Links()
+	names := make([]string, len(links))
+	for i, l := range links {
+		names[i] = l.Name
+	}
+	c.Bind(m.cl.Nodes, names)
+	m.fabric.SetObserver(c)
+	m.tel = c
+}
+
+// Telemetry returns the attached collector (nil when telemetry is off).
+func (m *Machine) Telemetry() *telemetry.Collector { return m.tel }
 
 // setPageBusy extends page p's busy horizon to t. Page operations only
 // ever push the horizon forward — every accessor waits it out before

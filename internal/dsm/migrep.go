@@ -6,6 +6,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/memory"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // cleanPage writes every dirty cached block of page p back to home at
@@ -78,6 +79,7 @@ func (m *Machine) replicate(c *engine.CPU, n int, p memory.Page) {
 	e.Replicated = true
 	e.Mode[n] = memory.ModeReplica
 	op.count(stats.Replication)
+	op.note(telemetry.EvReplicate, p)
 	m.home[e.Home].Acquire(op.start, op.elapsed()/4)
 	op.finishBusy(p)
 }
@@ -94,6 +96,7 @@ func (m *Machine) grantReplica(c *engine.CPU, n int, p memory.Page) {
 	op.charge(m.tm.CopyCost(config.BlocksPerPage))
 	e.Mode[n] = memory.ModeReplica
 	op.count(stats.Replication)
+	op.note(telemetry.EvGrant, p)
 	m.home[e.Home].Acquire(op.start, op.elapsed()/4)
 	op.finishBusy(p)
 }
@@ -140,6 +143,7 @@ func (m *Machine) collapse(c *engine.CPU, n int, p memory.Page) {
 	cnt.noRepl = true
 	op.charge(int64(replicas) * m.tm.TLBShootdown)
 	op.count(stats.Collapse)
+	op.note(telemetry.EvCollapse, p)
 	op.finishBusy(p)
 }
 
@@ -163,6 +167,7 @@ func (m *Machine) migrate(c *engine.CPU, n int, p memory.Page) {
 	op.xfer(oldHome, n, n, int64(config.BlocksPerPage)*msgBlockBytes)
 	op.charge(m.tm.CopyCost(config.BlocksPerPage))
 	op.count(stats.Migration)
+	op.note(telemetry.EvMigrate, p) // Home already moved: notes the new home
 	m.home[oldHome].Acquire(op.start, op.elapsed()/4)
 	op.finishBusy(p)
 	m.migCounter(p).reset()

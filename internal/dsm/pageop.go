@@ -4,6 +4,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/memory"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // pageOp is one in-flight page operation: an R-NUMA relocation, a
@@ -48,13 +49,31 @@ func (op *pageOp) elapsed() int64 { return op.now - op.start }
 // gathered flushes to the cacher that emits them).
 func (op *pageOp) xfer(src, dst, pay int, bytes int64) {
 	op.m.st.Nodes[pay].TrafficBytes += bytes
+	if tl := op.m.tel; tl != nil {
+		tl.Traffic(pay, bytes, op.now)
+	}
 	op.m.fabric.Deliver(src, dst, bytes, op.now)
 }
 
 // count records one page operation of the given kind against the
-// operation's node.
+// operation's node (and, under telemetry, the window of the operation's
+// current event time).
 func (op *pageOp) count(kind stats.PageOp) {
 	op.m.st.Nodes[op.node].PageOps[kind]++
+	if tl := op.m.tel; tl != nil {
+		tl.PageOp(kind, op.now)
+	}
+}
+
+// note records the operation on the telemetry timeline as kind acting
+// on page p, spanning the operation's start to its current event time.
+// Call it after the operation's last charge, so the span covers the
+// whole operation; a sub-operation (a frame flush inside a relocation)
+// notes its own completed span mid-operation instead.
+func (op *pageOp) note(kind telemetry.EventKind, p memory.Page) {
+	if tl := op.m.tel; tl != nil {
+		tl.Event(kind, uint64(p), op.m.pt.Entry(p).Home, op.node, op.start, op.now)
+	}
 }
 
 // finish commits the operation: its elapsed cycles are accounted as
@@ -83,4 +102,7 @@ func (m *Machine) writebackRemote(n, h int, b memory.Block, now int64) {
 	m.home[h].Acquire(t, m.tm.HomeOccupancy)
 	m.dir.WriteBack(b, n)
 	m.st.Nodes[n].TrafficBytes += msgBlockBytes
+	if tl := m.tel; tl != nil {
+		tl.Traffic(n, msgBlockBytes, now)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/memory"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // relocate runs the R-NUMA relocation interrupt for node n on page p
@@ -50,6 +51,7 @@ func (m *Machine) relocate(c *engine.CPU, n int, p memory.Page) {
 	e.Mode[n] = memory.ModeSCOMA
 	m.ref[n][p] = 0
 	op.count(stats.Relocation)
+	op.note(telemetry.EvRelocate, p)
 	op.finish()
 }
 
@@ -70,6 +72,7 @@ func (m *Machine) mapSCOMA(c *engine.CPU, n int, p memory.Page) {
 	pc.Allocate(p)
 	m.pt.Entry(p).Mode[n] = memory.ModeSCOMA
 	op.count(stats.Relocation)
+	op.note(telemetry.EvRelocate, p)
 	op.finish()
 }
 
@@ -89,6 +92,7 @@ func (m *Machine) evictFrame(op *pageOp, n int) {
 	m.mapped[n][victim.Page] = false // the remapped page faults on next touch
 	m.ref[n][victim.Page] = 0
 	op.count(stats.Replacement)
+	op.note(telemetry.EvFrameFlush, victim.Page)
 }
 
 // flushFrame writes a deallocated S-COMA frame's dirty blocks back to

@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/memory"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -19,6 +20,12 @@ type RunOptions struct {
 	// violation fails the run with a descriptive error. Auditing does
 	// not change simulated behaviour.
 	Audit bool
+
+	// Telemetry, when non-nil, attaches a collector that records
+	// time-resolved series (and optionally the page-operation timeline)
+	// as the trace executes. Collection is observational: the simulated
+	// statistics are byte-identical with or without it.
+	Telemetry *telemetry.Collector
 }
 
 // Run executes a trace on a freshly built machine and returns the
@@ -35,6 +42,9 @@ func RunWithOptions(tr *trace.Trace, spec Spec, cl config.Cluster, tm config.Tim
 	}
 	if o.Audit {
 		m.EnableAudit()
+	}
+	if o.Telemetry != nil {
+		m.AttachTelemetry(o.Telemetry)
 	}
 	if err := m.Execute(tr); err != nil {
 		return nil, err
@@ -93,6 +103,9 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 		c.Clock += int64(ops.Gaps[i])
 		if m.auditing {
 			m.fabric.SetAuditFloor(c.Clock)
+		}
+		if m.tel != nil {
+			m.tel.Dispatch(c.Clock)
 		}
 
 		switch kind {
@@ -197,6 +210,9 @@ func (m *Machine) chargeLock(c *engine.CPU, id uint64, requested int64) {
 		// remote transaction.
 		lat = m.tm.RemoteMiss + m.forwardExtra(n, last)
 		ns.TrafficBytes += msgHeaderBytes + msgBlockBytes
+		if tl := m.tel; tl != nil {
+			tl.Traffic(n, msgHeaderBytes+msgBlockBytes, c.Clock)
+		}
 		m.fabric.Deliver(n, last, msgHeaderBytes, c.Clock)
 		m.fabric.Deliver(last, n, msgBlockBytes, c.Clock+m.wireLatency(n, last))
 	}

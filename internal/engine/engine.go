@@ -130,6 +130,11 @@ type Scheduler struct {
 	cpus []*CPU
 	heap []*CPU
 	done int
+
+	// dispatches counts scheduling decisions: every Peek or Next that
+	// handed the earliest runnable CPU to the caller. Run introspection
+	// reads it as the event-dispatch total of the replay loop.
+	dispatches int64
 }
 
 // NewScheduler creates a scheduler over n CPUs, all runnable at time 0.
@@ -236,6 +241,7 @@ func (s *Scheduler) Peek() *CPU {
 	if len(s.heap) == 0 {
 		return nil
 	}
+	s.dispatches++
 	return s.heap[0]
 }
 
@@ -277,6 +283,7 @@ func (s *Scheduler) Next() *CPU {
 	if len(s.heap) == 0 {
 		return nil
 	}
+	s.dispatches++
 	c := s.heap[0]
 	s.removeAt(0)
 	return c
@@ -314,6 +321,9 @@ func (s *Scheduler) Finish(c *CPU) {
 
 // Done reports whether every CPU has finished.
 func (s *Scheduler) Done() bool { return s.done == len(s.cpus) }
+
+// Dispatches returns the number of scheduling decisions made so far.
+func (s *Scheduler) Dispatches() int64 { return s.dispatches }
 
 // MaxClock returns the maximum clock over all CPUs — the simulated
 // execution time once Done.

@@ -31,11 +31,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/config"
 	"repro/internal/dsm"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/trace/store"
 )
 
 // Options configures an experiment run.
@@ -83,6 +86,20 @@ type Options struct {
 	// replay, so sharing is safe even across Parallel workers.
 	Traces *TraceCache
 
+	// Telemetry, when non-nil, attaches a telemetry.Collector to every
+	// non-baseline run: windowed time series always, the page-operation
+	// timeline when TelemetryOptions.Timeline is set. Collectors hang
+	// off each Run; Result.WriteTelemetry renders them as artifacts.
+	// Collection is observational — reported statistics are
+	// byte-identical with or without it.
+	Telemetry *TelemetryOptions
+
+	// Progress, when non-nil, receives one line per completed
+	// simulation with its wall-clock time (and one per generated
+	// trace). Unlike Verbose output it goes to its own writer, so it
+	// can stream to stderr while the report goes to stdout.
+	Progress io.Writer
+
 	// Out receives the rendered report (required).
 	Out io.Writer
 }
@@ -127,6 +144,9 @@ type Run struct {
 	// Norm is execution time normalized to perfect CC-NUMA on the same
 	// application.
 	Norm float64
+	// Telemetry is the run's collector when Options.Telemetry was set
+	// (nil otherwise, and always nil for the normalization baseline).
+	Telemetry *telemetry.Collector
 }
 
 // Result is a completed experiment: the structured records of every
@@ -141,6 +161,14 @@ type Result struct {
 	Runs map[string]map[string]*Run
 	// AppOrder preserves presentation order.
 	AppOrder []string
+
+	// Scale and Scales record the problem size(s) the experiment ran,
+	// for the run manifest (Scales only for the scale sweep).
+	Scale  int
+	Scales []int
+	// Traces content-addresses every workload the experiment replayed:
+	// one entry per generated trace, carrying the on-disk store hash.
+	Traces []telemetry.TraceRef
 
 	// render writes the experiment's text report; set by the
 	// experiment that produced the result.
@@ -242,9 +270,19 @@ func runExperiment(name string, systems []systemRun, o Options) (*Result, error)
 	baseline := systemRun{spec: dsm.PerfectCCNUMA(), tm: config.Default(), th: config.DefaultThresholds()}
 
 	for _, app := range list {
-		tr, err := o.Traces.generate(app, apps.Params{CPUs: cl.TotalCPUs(), Scale: o.Scale})
+		params := apps.Params{CPUs: cl.TotalCPUs(), Scale: o.Scale}
+		genStart := time.Now()
+		tr, err := o.Traces.generate(app, params)
 		if err != nil {
 			return nil, fmt.Errorf("harness: generating %s: %w", app.Name, err)
+		}
+		key := store.Key{App: app.Name, CPUs: params.CPUs, Scale: params.Scale, Seed: params.Seed}
+		res.Traces = append(res.Traces, telemetry.TraceRef{
+			App: key.App, CPUs: key.CPUs, Scale: key.Scale, Seed: key.Seed, Hash: key.Filename(),
+		})
+		if o.Progress != nil {
+			fmt.Fprintf(o.Progress, "# trace %s scale %d ready in %.2fs (%d ops)\n",
+				app.Name, o.Scale, time.Since(genStart).Seconds(), tr.Ops())
 		}
 		if o.Verbose {
 			fmt.Fprintf(o.Out, "# %s: %d ops, %.1f MB footprint\n",
@@ -252,12 +290,25 @@ func runExperiment(name string, systems []systemRun, o Options) (*Result, error)
 		}
 		all := append([]systemRun{baseline}, systems...)
 		sims := make([]*stats.Sim, len(all))
+		cols := make([]*telemetry.Collector, len(all))
 		if err := forEach(all, o.Parallel, func(i int, s systemRun) error {
 			scl := cl
 			scl.Net = s.net
-			sim, err := dsm.RunWithOptions(tr, s.spec, scl, s.tm, s.th, dsm.RunOptions{Audit: o.Audit})
+			ro := dsm.RunOptions{Audit: o.Audit}
+			if o.Telemetry != nil && i > 0 {
+				cols[i] = telemetry.New(telemetry.Config{
+					Window: o.Telemetry.Window, Timeline: o.Telemetry.Timeline,
+				})
+				ro.Telemetry = cols[i]
+			}
+			runStart := time.Now()
+			sim, err := dsm.RunWithOptions(tr, s.spec, scl, s.tm, s.th, ro)
 			if err != nil {
 				return fmt.Errorf("harness: %s on %s: %w", app.Name, s.name(), err)
+			}
+			if o.Progress != nil {
+				fmt.Fprintf(o.Progress, "# run %s/%s/%s done in %.2fs\n",
+					name, app.Name, s.name(), time.Since(runStart).Seconds())
 			}
 			sims[i] = sim
 			return nil
@@ -271,7 +322,7 @@ func runExperiment(name string, systems []systemRun, o Options) (*Result, error)
 			sim := sims[i+1]
 			res.Runs[app.Name][s.name()] = &Run{
 				App: app.Name, System: s.spec.Name, Label: s.name(), Fabric: s.net.Kind(),
-				Stats: sim, Norm: sim.Normalized(base),
+				Stats: sim, Norm: sim.Normalized(base), Telemetry: cols[i+1],
 			}
 			if o.Verbose {
 				fmt.Fprintf(o.Out, "#   %-22s %8.3f (exec %d cycles)\n",
@@ -279,6 +330,7 @@ func runExperiment(name string, systems []systemRun, o Options) (*Result, error)
 			}
 		}
 	}
+	res.Scale = o.Scale
 	return res, nil
 }
 

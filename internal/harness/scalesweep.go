@@ -94,7 +94,20 @@ func ScaleSweep(o Options) (*Result, error) {
 				merged.Runs[app][label] = run
 			}
 		}
+		for _, ref := range r.Traces {
+			seen := false
+			for _, have := range merged.Traces {
+				if have.Hash == ref.Hash {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				merged.Traces = append(merged.Traces, ref)
+			}
+		}
 	}
+	merged.Scales = scales
 
 	merged.render = func(w io.Writer, r *Result) {
 		header(w, "Scale sweep: Figure 5 systems across problem scales")

@@ -6,6 +6,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/engine"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Fabric is a Topology instantiated with timing: per-hop latency, an
@@ -37,6 +38,11 @@ type Fabric struct {
 	auditing   bool
 	auditFloor int64
 	violations stats.ViolationLog
+
+	// obs, when non-nil, receives every link traversal on its windowed
+	// per-link series, keyed by the injection time at that hop. Purely
+	// observational; the nil default costs one nil check per hop.
+	obs *telemetry.Collector
 }
 
 // New builds the fabric described by a config.Network for the given node
@@ -130,6 +136,12 @@ func (f *Fabric) SetAuditFloor(t int64) { f.auditFloor = t }
 // fabric was built (empty when auditing is off or the run was clean).
 func (f *Fabric) Violations() []string { return f.violations.All() }
 
+// SetObserver attaches a telemetry collector: every message charges its
+// bytes to the crossed link's windowed series at the simulated time the
+// message reaches that hop, alongside the existing aggregate counters.
+// The windowed totals therefore reconcile exactly with LinkBytes.
+func (f *Fabric) SetObserver(o *telemetry.Collector) { f.obs = o }
+
 // occupancy is how long a message of the given size holds each link.
 func (f *Fabric) occupancy(bytes int64) int64 {
 	if f.bytesPerCycle <= 0 {
@@ -161,6 +173,9 @@ func (f *Fabric) Traverse(src, dst int, bytes int64, now int64) int64 {
 	for _, id := range route {
 		f.linkBytes[id] += bytes
 		f.linkMsgs[id]++
+		if f.obs != nil {
+			f.obs.Link(id, bytes, t)
+		}
 		if occ > 0 {
 			t = f.res[id].Acquire(t, occ)
 		}

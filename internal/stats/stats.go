@@ -27,6 +27,10 @@ const (
 	numMissClasses
 )
 
+// NumMissClasses is the number of miss classes, for packages that build
+// per-class tables (internal/telemetry's windowed series).
+const NumMissClasses = int(numMissClasses)
+
 // String returns the miss-class name.
 func (c MissClass) String() string {
 	switch c {
@@ -59,6 +63,10 @@ const (
 
 	numPageOps
 )
+
+// NumPageOps is the number of page-operation kinds, for packages that
+// build per-kind tables (internal/telemetry's windowed series).
+const NumPageOps = int(numPageOps)
 
 // String returns the page-operation name.
 func (p PageOp) String() string {

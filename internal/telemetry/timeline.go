@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+)
+
+// EventKind classifies one timeline event. The kinds are finer-grained
+// than stats.PageOp: a replica grant is distinguishable from the first
+// replication, and the fault-path replica copy (charged to
+// stats.Replication in the aggregates) gets its own kind, because the
+// phase dynamics the timeline exists to show — replication storms vs
+// steady-state grants — live exactly in those distinctions.
+type EventKind uint8
+
+const (
+	// EvRelocate is an R-NUMA relocation of a page into a node's
+	// S-COMA page cache (including static AlwaysSCOMA placement).
+	EvRelocate EventKind = iota
+	// EvReplicate is the creation of a page's first read-only replica.
+	EvReplicate
+	// EvGrant is a replica copy granted to an additional node of an
+	// already-replicated page.
+	EvGrant
+	// EvCollapse is a write fault collapsing all replicas of a page
+	// back to a single read-write home copy.
+	EvCollapse
+	// EvMigrate is a page's home moving to the requesting node.
+	EvMigrate
+	// EvFrameFlush is a page-cache frame eviction: the victim frame's
+	// surviving blocks are flushed home (stats counts it as a
+	// replacement). The event's page is the victim, not the page whose
+	// relocation forced the eviction.
+	EvFrameFlush
+	// EvFaultCopy is a full read-only page copy fetched by a soft page
+	// fault on an already-replicated page.
+	EvFaultCopy
+
+	numEventKinds
+)
+
+// String returns the event-kind name used in exports.
+func (k EventKind) String() string {
+	switch k {
+	case EvRelocate:
+		return "relocate"
+	case EvReplicate:
+		return "replicate"
+	case EvGrant:
+		return "grant"
+	case EvCollapse:
+		return "collapse"
+	case EvMigrate:
+		return "migrate"
+	case EvFrameFlush:
+		return "frame-flush"
+	case EvFaultCopy:
+		return "fault-copy"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Serializing reports whether the operation holds the page-busy horizon
+// while it runs: every later accessor of the page waits out its end
+// before starting a new operation. Spans of serializing events are
+// therefore non-overlapping per page — a conservation-style invariant
+// the telemetry tests pin.
+func (k EventKind) Serializing() bool {
+	switch k {
+	case EvReplicate, EvGrant, EvCollapse, EvMigrate:
+		return true
+	default:
+		return false
+	}
+}
+
+// Event is one discrete page operation on the timeline.
+type Event struct {
+	Kind EventKind
+	// Page is the page the operation acted on (for EvFrameFlush, the
+	// evicted victim).
+	Page uint64
+	// Home is the page's home node when the operation completed (for
+	// EvMigrate, the new home).
+	Home int32
+	// Requester is the node whose access initiated the operation and
+	// to which it is charged.
+	Requester int32
+	// Start and End are the operation's simulated times in cycles.
+	Start, End int64
+}
+
+// WriteChromeTrace renders the timeline as Chrome trace-event JSON — a
+// {"traceEvents": [...]} document Perfetto and chrome://tracing load
+// directly. Each event is a complete ("ph":"X") slice: the process lane
+// is the page's home node, the thread lane the requesting node, and the
+// timestamp/duration are simulated cycles presented as microseconds
+// (the viewer's time unit; 1 "us" on screen = 1 simulated cycle).
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	// Name the process lanes once per node that appears as a home.
+	seen := make(map[int32]bool)
+	first := true
+	emit := func(format string, args ...any) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	for _, e := range c.events {
+		if !seen[e.Home] {
+			seen[e.Home] = true
+			if err := emit(`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"home node %d"}}`,
+				e.Home, e.Home); err != nil {
+				return err
+			}
+		}
+		if err := emit(`{"name":%q,"cat":"pageop","ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,"args":{"page":%d,"home":%d,"requester":%d}}`,
+			e.Kind.String(), e.Start, e.End-e.Start, e.Home, e.Requester,
+			e.Page, e.Home, e.Requester); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}
+
+// timelineCSVHeader is the column layout of WriteTimelineCSV.
+const timelineCSVHeader = "kind,page,home,requester,start_cycle,end_cycle"
+
+// WriteTimelineCSV renders the timeline as compact CSV, one row per
+// event in recording order.
+func (c *Collector) WriteTimelineCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, timelineCSVHeader); err != nil {
+		return err
+	}
+	for _, e := range c.events {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%d,%d,%d\n",
+			e.Kind, e.Page, e.Home, e.Requester, e.Start, e.End); err != nil {
+			return err
+		}
+	}
+	return nil
+}
