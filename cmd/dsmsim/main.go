@@ -157,7 +157,7 @@ func main() {
 		}
 	}
 	if *telDir != "" {
-		man := telemetry.NewManifest()
+		man := telemetry.NewManifestAt(time.Now())
 		man.App = app.Name
 		man.Systems = names
 		man.Fabric = cl.Net.Kind()

@@ -73,6 +73,18 @@
 // agree with the caches. A protocol path that skews the paper's traffic
 // tables therefore fails loudly instead of silently.
 //
+// What the run-time audits enforce dynamically, internal/lint enforces
+// statically: repolint (cmd/repolint, also runnable as a go vet
+// -vettool and inside go test via the root lint_test.go) is a
+// go/analysis-style suite that rejects nondeterministic map iteration
+// in the core, wall-clock and global-randomness reads in simulation
+// packages, literal-0 event times on fabric and page-op seams, and
+// allocating constructs in functions annotated //repro:hotpath, and
+// requires every telemetry hook in the core to sit behind a nil guard.
+// The invariants the golden files, the content-addressed trace store
+// and the benchmark guards test by example are thus also checked at
+// compile time, on every path.
+//
 // See README.md for a quickstart, cmd/experiments for the reproduction
 // driver, and bench_test.go (this directory) for per-figure benchmarks.
 package repro

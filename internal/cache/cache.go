@@ -72,9 +72,12 @@ func NewL1(bytes int) *L1 {
 // Sets returns the number of lines.
 func (c *L1) Sets() int { return int(c.sets) }
 
+//repro:hotpath
 func (c *L1) idx(b memory.Block) uint64 { return uint64(b) & (c.sets - 1) }
 
 // Lookup returns the state of block b in the cache (Invalid on miss).
+//
+//repro:hotpath
 func (c *L1) Lookup(b memory.Block) LineState {
 	i := c.idx(b)
 	if c.state[i] != Invalid && c.tags[i] == b {
@@ -85,6 +88,8 @@ func (c *L1) Lookup(b memory.Block) LineState {
 
 // SetState updates the state of a resident block. It panics if the block
 // is not resident — callers must have checked with Lookup.
+//
+//repro:hotpath
 func (c *L1) SetState(b memory.Block, s LineState) {
 	i := c.idx(b)
 	if c.state[i] == Invalid || c.tags[i] != b {
@@ -96,6 +101,8 @@ func (c *L1) SetState(b memory.Block, s LineState) {
 // Insert places block b with the given state, returning the displaced
 // victim (Valid=false if the slot was empty). Inserting a block that is
 // already resident just updates its state and returns an invalid victim.
+//
+//repro:hotpath
 func (c *L1) Insert(b memory.Block, s LineState) Victim {
 	i := c.idx(b)
 	var v Victim
@@ -112,6 +119,8 @@ func (c *L1) Insert(b memory.Block, s LineState) Victim {
 }
 
 // Invalidate removes block b, returning whether it was present and dirty.
+//
+//repro:hotpath
 func (c *L1) Invalidate(b memory.Block) (present, dirty bool) {
 	i := c.idx(b)
 	if c.state[i] == Invalid || c.tags[i] != b {
@@ -181,6 +190,7 @@ func NewInfiniteBlockCacheSized(blocks int) *BlockCache {
 // Infinite reports whether the cache is the unbounded variant.
 func (c *BlockCache) Infinite() bool { return c.infinite }
 
+//repro:hotpath
 func (c *BlockCache) set(b memory.Block) uint64 { return uint64(b) & (c.sets - 1) }
 
 // grow extends the infinite state array to cover block b.
@@ -197,6 +207,8 @@ func (c *BlockCache) grow(b memory.Block) {
 
 // Lookup returns the block's state, promoting it to most-recently-used on
 // a hit.
+//
+//repro:hotpath
 func (c *BlockCache) Lookup(b memory.Block) LineState {
 	if c.infinite {
 		if int(b) < len(c.inf) {
@@ -218,6 +230,8 @@ func (c *BlockCache) Lookup(b memory.Block) LineState {
 }
 
 // Probe returns the block's state without touching LRU order.
+//
+//repro:hotpath
 func (c *BlockCache) Probe(b memory.Block) LineState {
 	if c.infinite {
 		if int(b) < len(c.inf) {
@@ -237,6 +251,8 @@ func (c *BlockCache) Probe(b memory.Block) LineState {
 }
 
 // promote moves slot base+i to the MRU position (base).
+//
+//repro:hotpath
 func (c *BlockCache) promote(base, i int) {
 	if i == 0 {
 		return
@@ -249,6 +265,8 @@ func (c *BlockCache) promote(base, i int) {
 
 // Insert places block b, returning the LRU victim if the set was full.
 // Inserting a resident block refreshes its state and LRU position.
+//
+//repro:hotpath
 func (c *BlockCache) Insert(b memory.Block, st LineState) Victim {
 	if c.infinite {
 		if int(b) >= len(c.inf) {
@@ -285,6 +303,8 @@ func (c *BlockCache) Insert(b memory.Block, st LineState) Victim {
 
 // SetState updates the state of a resident block; it is a no-op if the
 // block is absent.
+//
+//repro:hotpath
 func (c *BlockCache) SetState(b memory.Block, st LineState) {
 	if c.infinite {
 		if int(b) < len(c.inf) && c.inf[b] != Invalid {
@@ -304,6 +324,8 @@ func (c *BlockCache) SetState(b memory.Block, st LineState) {
 }
 
 // Invalidate removes block b, reporting presence and dirtiness.
+//
+//repro:hotpath
 func (c *BlockCache) Invalidate(b memory.Block) (present, dirty bool) {
 	if c.infinite {
 		if int(b) >= len(c.inf) || c.inf[b] == Invalid {
@@ -402,6 +424,8 @@ func (c *PageCache) Len() int { return c.resident }
 
 // Entry returns the frame for page p, or nil, without touching LRU
 // order.
+//
+//repro:hotpath
 func (c *PageCache) Entry(p memory.Page) *PageEntry {
 	if int(p) < len(c.entries) {
 		return c.entries[p]
@@ -410,6 +434,8 @@ func (c *PageCache) Entry(p memory.Page) *PageEntry {
 }
 
 // Touch promotes page p to MRU, returning its frame (nil if absent).
+//
+//repro:hotpath
 func (c *PageCache) Touch(p memory.Page) *PageEntry {
 	e := c.Entry(p)
 	if e == nil {
@@ -427,6 +453,8 @@ func (c *PageCache) Full() bool {
 // EvictLRU removes and returns the least-recently-used frame, or nil if
 // the cache is empty. The returned frame is valid until the next
 // Allocate.
+//
+//repro:hotpath
 func (c *PageCache) EvictLRU() *PageEntry {
 	e := c.tail
 	if e == nil {
@@ -442,6 +470,8 @@ func (c *PageCache) EvictLRU() *PageEntry {
 // Allocate creates an empty frame for page p at MRU position. The caller
 // must have made room first (Full + EvictLRU); if the cache is full,
 // Allocate panics.
+//
+//repro:hotpath
 func (c *PageCache) Allocate(p memory.Page) *PageEntry {
 	if c.Entry(p) != nil {
 		panic("cache: page already resident")
@@ -470,6 +500,8 @@ func (c *PageCache) Allocate(p memory.Page) *PageEntry {
 // Remove deletes page p's frame outright (used when a page migrates away
 // or is gathered), returning it (nil if absent). The returned frame is
 // valid until the next Allocate.
+//
+//repro:hotpath
 func (c *PageCache) Remove(p memory.Page) *PageEntry {
 	e := c.Entry(p)
 	if e == nil {
@@ -482,6 +514,7 @@ func (c *PageCache) Remove(p memory.Page) *PageEntry {
 	return e
 }
 
+//repro:hotpath
 func (c *PageCache) pushFront(e *PageEntry) {
 	e.prev = nil
 	e.next = c.head
@@ -494,6 +527,7 @@ func (c *PageCache) pushFront(e *PageEntry) {
 	}
 }
 
+//repro:hotpath
 func (c *PageCache) remove(e *PageEntry) {
 	if e.prev != nil {
 		e.prev.next = e.next
@@ -508,6 +542,7 @@ func (c *PageCache) remove(e *PageEntry) {
 	e.prev, e.next = nil, nil
 }
 
+//repro:hotpath
 func (c *PageCache) moveToFront(e *PageEntry) {
 	if c.head == e {
 		return

@@ -15,6 +15,8 @@ import (
 // localAccess models an L1 miss satisfied on the node: a bus transaction
 // (with queuing) followed by the fixed local-memory/SRAM service time. It
 // returns the completion time.
+//
+//repro:hotpath
 func (m *Machine) localAccess(now int64, n int) int64 {
 	t := m.bus[n].Acquire(now, m.tm.BusOccupancy)
 	return t + m.localFixed
@@ -23,6 +25,8 @@ func (m *Machine) localAccess(now int64, n int) int64 {
 // forwardExtra returns the distance-dependent latency of a forwarded
 // request leg a->b and its return b->a beyond the flat DirtyRemoteExtra
 // the timing model charges; zero on the crossbar.
+//
+//repro:hotpath
 func (m *Machine) forwardExtra(a, b int) int64 {
 	return m.fabric.ExtraHopLatency(a, b) + m.fabric.ExtraHopLatency(b, a)
 }
@@ -31,6 +35,8 @@ func (m *Machine) forwardExtra(a, b int) int64 {
 // (one hop on the crossbar, matching the flat model's NetworkLatency).
 // It is used to back-date events on the far side of a completed round
 // trip, e.g. when the dirty owner's NI was busy.
+//
+//repro:hotpath
 func (m *Machine) wireLatency(a, b int) int64 {
 	if a == b {
 		return 0
@@ -41,6 +47,8 @@ func (m *Machine) wireLatency(a, b int) int64 {
 // ackWaveLatency returns the latency the invalidation ack wave adds to
 // a directory round trip: the flat one-hop charge of the original
 // model, plus the farthest sharer's extra hops on multi-hop fabrics.
+//
+//repro:hotpath
 func (m *Machine) ackWaveLatency(h int, mask uint64) int64 {
 	return m.fabric.HopLatency() + m.ackWaveExtra(h, mask)
 }
@@ -49,6 +57,8 @@ func (m *Machine) ackWaveLatency(h int, mask uint64) int64 {
 // wave on multi-hop fabrics: the wave completes when the ack of the
 // farthest sharer in mask returns to home h. Zero on the crossbar,
 // where the flat one-network-latency charge already covers the wave.
+//
+//repro:hotpath
 func (m *Machine) ackWaveExtra(h int, mask uint64) int64 {
 	var max int64
 	for ; mask != 0; mask &= mask - 1 {
@@ -67,6 +77,8 @@ func (m *Machine) ackWaveExtra(h int, mask uint64) int64 {
 // and response sizes are charged to the links of the two traversals.
 // When h == n the network legs vanish but the directory/controller work
 // remains, and any message bytes are accounted as node-local.
+//
+//repro:hotpath
 func (m *Machine) roundTrip(now int64, n, h int, extra, reqBytes, respBytes int64) int64 {
 	t := m.bus[n].Acquire(now, m.tm.BusOccupancy)
 	if h != n {
@@ -87,6 +99,8 @@ func (m *Machine) roundTrip(now int64, n, h int, extra, reqBytes, respBytes int6
 
 // access executes one Read/Write trace op for CPU c, advancing its clock
 // by the full memory-system latency.
+//
+//repro:hotpath
 func (m *Machine) access(c *engine.CPU, b memory.Block, write bool) {
 	n := m.nodeOf(c.ID)
 	p := b.Page()
@@ -181,6 +195,8 @@ func (m *Machine) access(c *engine.CPU, b memory.Block, write bool) {
 
 // upgrade obtains write permission for a block the CPU already caches in
 // the Shared state.
+//
+//repro:hotpath
 func (m *Machine) upgrade(c *engine.CPU, n int, b memory.Block) {
 	ns := &m.st.Nodes[n]
 	de := m.dir.Entry(b)
@@ -246,6 +262,8 @@ func (m *Machine) upgrade(c *engine.CPU, n int, b memory.Block) {
 // every node in mask (except requester n), charging their NIs at time t
 // and accounting traffic to the requester. The invalidation and ack ride
 // the h<->s links; dirty data accompanies the ack back to home memory.
+//
+//repro:hotpath
 func (m *Machine) invalidateSharers(n, h int, b memory.Block, mask uint64, t int64) {
 	ns := &m.st.Nodes[n]
 	for mask &^= 1 << uint(n); mask != 0; mask &= mask - 1 {
@@ -268,6 +286,8 @@ func (m *Machine) invalidateSharers(n, h int, b memory.Block, mask uint64, t int
 }
 
 // fill services an L1 miss for CPU c on node n.
+//
+//repro:hotpath
 func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 	p := b.Page()
 	e := m.pt.Entry(p)
@@ -452,6 +472,8 @@ func (m *Machine) fill(c *engine.CPU, n int, b memory.Block, write bool) {
 }
 
 // advance moves the CPU clock to end, accounting the stall.
+//
+//repro:hotpath
 func (m *Machine) advance(c *engine.CPU, ns *stats.Node, end int64) {
 	if end > c.Clock {
 		ns.StallCycles += end - c.Clock
@@ -462,6 +484,8 @@ func (m *Machine) advance(c *engine.CPU, ns *stats.Node, end int64) {
 // retrieveDirty pulls the dirty copy of b away from owner: on a read the
 // owner downgrades to Shared and memory is updated; on a write the
 // owner's copies are invalidated.
+//
+//repro:hotpath
 func (m *Machine) retrieveDirty(n, owner int, b memory.Block, write bool) {
 	if write {
 		m.invalidateOnNode(owner, b, true)
@@ -474,6 +498,8 @@ func (m *Machine) retrieveDirty(n, owner int, b memory.Block, write bool) {
 
 // completeFill performs the directory update and cache installation
 // common to every fill path.
+//
+//repro:hotpath
 func (m *Machine) completeFill(c *engine.CPU, n int, b memory.Block, write bool) {
 	if write {
 		inv := m.dir.SetOwner(b, n)
@@ -507,6 +533,8 @@ func (m *Machine) completeFill(c *engine.CPU, n int, b memory.Block, write bool)
 
 // install places the block into the CPU's L1 (and the node's block cache
 // or S-COMA frame when applicable), handling displaced victims.
+//
+//repro:hotpath
 func (m *Machine) install(c *engine.CPU, n int, b memory.Block, write bool) {
 	st := cache.Shared
 	if write {
@@ -544,6 +572,8 @@ func (m *Machine) install(c *engine.CPU, n int, b memory.Block, write bool) {
 }
 
 // evictFromL1 handles a victim displaced from a processor cache.
+//
+//repro:hotpath
 func (m *Machine) evictFromL1(n int, v cache.Victim, now int64) {
 	b := v.Block
 	if m.l1count[n][b] > 0 {
@@ -589,6 +619,8 @@ func (m *Machine) evictFromL1(n int, v cache.Victim, now int64) {
 
 // evictFromBlockCache handles a victim displaced from the block cache,
 // enforcing inclusion over the node's L1s.
+//
+//repro:hotpath
 func (m *Machine) evictFromBlockCache(n int, v cache.Victim, now int64) {
 	b := v.Block
 	dirty := v.Dirty

@@ -30,6 +30,8 @@ type pageOp struct {
 // run to completion before the next one can begin, so the machine hands
 // out one reusable scratch carrier instead of allocating per operation;
 // the returned pageOp is valid until the next beginPageOp.
+//
+//repro:hotpath
 func (m *Machine) beginPageOp(c *engine.CPU, node int) *pageOp {
 	op := &m.opScratch
 	op.m, op.c, op.node, op.start, op.now = m, c, node, c.Clock, c.Clock
@@ -38,15 +40,21 @@ func (m *Machine) beginPageOp(c *engine.CPU, node int) *pageOp {
 
 // charge advances the operation's event time by cost cycles of page
 // operation work.
+//
+//repro:hotpath
 func (op *pageOp) charge(cost int64) { op.now += cost }
 
 // elapsed returns the cycles the operation has consumed so far.
+//
+//repro:hotpath
 func (op *pageOp) elapsed() int64 { return op.now - op.start }
 
 // xfer injects one message of the operation from src to dst at the
 // operation's current event time, charging its bytes to pay's traffic
 // counter (page copies are charged to the requester that waits on them,
 // gathered flushes to the cacher that emits them).
+//
+//repro:hotpath
 func (op *pageOp) xfer(src, dst, pay int, bytes int64) {
 	op.m.st.Nodes[pay].TrafficBytes += bytes
 	if tl := op.m.tel; tl != nil {
@@ -58,6 +66,8 @@ func (op *pageOp) xfer(src, dst, pay int, bytes int64) {
 // count records one page operation of the given kind against the
 // operation's node (and, under telemetry, the window of the operation's
 // current event time).
+//
+//repro:hotpath
 func (op *pageOp) count(kind stats.PageOp) {
 	op.m.st.Nodes[op.node].PageOps[kind]++
 	if tl := op.m.tel; tl != nil {
@@ -70,6 +80,8 @@ func (op *pageOp) count(kind stats.PageOp) {
 // Call it after the operation's last charge, so the span covers the
 // whole operation; a sub-operation (a frame flush inside a relocation)
 // notes its own completed span mid-operation instead.
+//
+//repro:hotpath
 func (op *pageOp) note(kind telemetry.EventKind, p memory.Page) {
 	if tl := op.m.tel; tl != nil {
 		tl.Event(kind, uint64(p), op.m.pt.Entry(p).Home, op.node, op.start, op.now)
@@ -79,6 +91,8 @@ func (op *pageOp) note(kind telemetry.EventKind, p memory.Page) {
 // finish commits the operation: its elapsed cycles are accounted as
 // page-operation time and the initiating CPU's clock advances to the
 // operation's end.
+//
+//repro:hotpath
 func (op *pageOp) finish() {
 	op.m.st.Nodes[op.node].PageOpCycles += op.elapsed()
 	op.c.Clock = op.now
@@ -86,6 +100,8 @@ func (op *pageOp) finish() {
 
 // finishBusy is finish for operations that serialize subsequent
 // accessors: the page stays busy until the operation's end.
+//
+//repro:hotpath
 func (op *pageOp) finishBusy(p memory.Page) {
 	op.finish()
 	op.m.setPageBusy(p, op.now)
@@ -96,6 +112,8 @@ func (op *pageOp) finishBusy(p memory.Page) {
 // the home controller are occupied and the directory is updated. now
 // must be the emitting transaction's current event time — block
 // evictions pass the CPU clock, page operations their pageOp's time.
+//
+//repro:hotpath
 func (m *Machine) writebackRemote(n, h int, b memory.Block, now int64) {
 	t := m.ni[n].Acquire(now, m.tm.NIOccupancy)
 	t = m.fabric.Traverse(n, h, msgBlockBytes, t)

@@ -181,6 +181,8 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 }
 
 // lock returns the engine lock for a trace lock id, creating it lazily.
+//
+//repro:hotpath
 func (m *Machine) lock(id uint64) *engine.Lock {
 	l := m.locks[id]
 	if l == nil {
@@ -194,6 +196,8 @@ func (m *Machine) lock(id uint64) *engine.Lock {
 // wait (if the lock was contended) counts as synchronization time, and
 // the acquisition itself costs a local or remote memory transaction on
 // the lock word depending on where it was last held.
+//
+//repro:hotpath
 func (m *Machine) chargeLock(c *engine.CPU, id uint64, requested int64) {
 	n := m.nodeOf(c.ID)
 	ns := &m.st.Nodes[n]

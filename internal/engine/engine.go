@@ -56,6 +56,8 @@ func NewResourceBank(prefix string, n int) []*Resource {
 // now, and returns the time at which service completes. The differences
 // between the return value and now is the total delay (queuing plus
 // service) experienced by the request.
+//
+//repro:hotpath
 func (r *Resource) Acquire(now Time, occ Time) Time {
 	start := now
 	if r.nextFree > start {
@@ -69,6 +71,8 @@ func (r *Resource) Acquire(now Time, occ Time) Time {
 }
 
 // Peek returns the earliest time a new request could begin service.
+//
+//repro:hotpath
 func (r *Resource) Peek() Time { return r.nextFree }
 
 // Busy returns the total cycles the resource has been occupied.
@@ -167,6 +171,8 @@ func less(a, b *CPU) bool {
 }
 
 // up restores the heap property from position i toward the root.
+//
+//repro:hotpath
 func (s *Scheduler) up(i int) {
 	h := s.heap
 	c := h[i]
@@ -184,6 +190,8 @@ func (s *Scheduler) up(i int) {
 }
 
 // down restores the heap property from position i toward the leaves.
+//
+//repro:hotpath
 func (s *Scheduler) down(i int) {
 	h := s.heap
 	n := len(h)
@@ -208,6 +216,8 @@ func (s *Scheduler) down(i int) {
 }
 
 // push appends a CPU and sifts it up.
+//
+//repro:hotpath
 func (s *Scheduler) push(c *CPU) {
 	c.index = len(s.heap)
 	s.heap = append(s.heap, c)
@@ -215,6 +225,8 @@ func (s *Scheduler) push(c *CPU) {
 }
 
 // removeAt deletes the CPU at heap position i.
+//
+//repro:hotpath
 func (s *Scheduler) removeAt(i int) {
 	h := s.heap
 	last := len(h) - 1
@@ -237,6 +249,8 @@ func (s *Scheduler) removeAt(i int) {
 // advances the CPU's clock and then calls Requeue, Park or Retire; until
 // then the heap is suspended around that CPU, and only Unblock may touch
 // it.
+//
+//repro:hotpath
 func (s *Scheduler) Peek() *CPU {
 	if len(s.heap) == 0 {
 		return nil
@@ -249,6 +263,8 @@ func (s *Scheduler) Peek() *CPU {
 // Clocks are monotonic — simulated work only moves a CPU later in time —
 // so a single downward sift suffices (the CPU can only have grown
 // relative to its children; its parent relation is untouched).
+//
+//repro:hotpath
 func (s *Scheduler) Requeue(c *CPU) {
 	if c.state != cpuRunnable || c.index < 0 {
 		panic(fmt.Sprintf("engine: requeue of non-queued cpu %d", c.ID))
@@ -258,6 +274,8 @@ func (s *Scheduler) Requeue(c *CPU) {
 
 // Park removes a peeked CPU from the runnable heap and marks it blocked
 // on synchronization. It must later be released with Unblock.
+//
+//repro:hotpath
 func (s *Scheduler) Park(c *CPU) {
 	if c.index < 0 {
 		panic(fmt.Sprintf("engine: park of non-queued cpu %d", c.ID))
@@ -267,6 +285,8 @@ func (s *Scheduler) Park(c *CPU) {
 }
 
 // Retire removes a peeked CPU from the runnable heap and marks it done.
+//
+//repro:hotpath
 func (s *Scheduler) Retire(c *CPU) {
 	if c.index < 0 {
 		panic(fmt.Sprintf("engine: retire of non-queued cpu %d", c.ID))
@@ -279,6 +299,8 @@ func (s *Scheduler) Retire(c *CPU) {
 // Next pops the runnable CPU with the smallest clock (ties broken by id).
 // It returns nil when no CPU is runnable: either all are done, or the
 // system has deadlocked on synchronization (which Done distinguishes).
+//
+//repro:hotpath
 func (s *Scheduler) Next() *CPU {
 	if len(s.heap) == 0 {
 		return nil
@@ -290,6 +312,8 @@ func (s *Scheduler) Next() *CPU {
 }
 
 // Yield requeues a CPU obtained from Next so it can run again.
+//
+//repro:hotpath
 func (s *Scheduler) Yield(c *CPU) {
 	if c.state != cpuRunnable {
 		panic(fmt.Sprintf("engine: yield of non-runnable cpu %d", c.ID))
@@ -299,9 +323,13 @@ func (s *Scheduler) Yield(c *CPU) {
 
 // Block marks a CPU (obtained from Next) as waiting on synchronization.
 // It must later be released with Unblock.
+//
+//repro:hotpath
 func (s *Scheduler) Block(c *CPU) { c.state = cpuBlocked }
 
 // Unblock makes a blocked CPU runnable at the given time and requeues it.
+//
+//repro:hotpath
 func (s *Scheduler) Unblock(c *CPU, at Time) {
 	if c.state != cpuBlocked {
 		panic(fmt.Sprintf("engine: unblock of non-blocked cpu %d", c.ID))
@@ -370,6 +398,8 @@ func NewBarrier(population int, overhead Time) *Barrier {
 // The returned waiters slice is only valid until the barrier next
 // releases: its backing array is recycled for a later epoch's waiter
 // list.
+//
+//repro:hotpath
 func (b *Barrier) Arrive(c *CPU) (release Time, waiters []*CPU, ok bool) {
 	if c.Clock > b.maxTime {
 		b.maxTime = c.Clock
@@ -415,6 +445,8 @@ func NewLock() *Lock { return &Lock{holder: -1} }
 // success it returns ok = true (the caller keeps c runnable; c.Clock may
 // have been advanced to the time the lock became free). On failure the
 // caller must Block c; the CPU will be handed back by a later Release.
+//
+//repro:hotpath
 func (l *Lock) Acquire(c *CPU) (ok bool) {
 	if !l.held {
 		l.held = true
@@ -435,6 +467,8 @@ func (l *Lock) Acquire(c *CPU) (ok bool) {
 // Release frees the lock at time now. If CPUs are waiting, the first
 // waiter becomes the new holder and is returned so the caller can
 // Unblock it at now; otherwise next is nil.
+//
+//repro:hotpath
 func (l *Lock) Release(now Time) (next *CPU) {
 	if !l.held {
 		panic("engine: release of unheld lock")

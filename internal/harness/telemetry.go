@@ -91,7 +91,7 @@ func (r *Result) WriteTelemetry(dir string, wall time.Duration) error {
 // of every replayed trace, stamped with the current build metadata and
 // the given wall time.
 func (r *Result) Manifest(wall time.Duration) telemetry.Manifest {
-	man := telemetry.NewManifest()
+	man := telemetry.NewManifestAt(time.Now())
 	man.Experiment = r.Name
 	man.Systems = append([]string(nil), r.Systems...)
 	man.Fabric = r.fabrics()

@@ -110,6 +110,8 @@ func (f *Fabric) HopLatency() int64 { return f.hopLatency }
 // multi-hop fabrics. It lets protocol legs whose base cost is a flat
 // timing constant (3-hop forwards, invalidation ack waves) scale with
 // distance without disturbing the crossbar-compatible baseline.
+//
+//repro:hotpath
 func (f *Fabric) ExtraHopLatency(src, dst int) int64 {
 	hops := len(f.topo.Route(src, dst))
 	if hops <= 1 {
@@ -143,6 +145,8 @@ func (f *Fabric) Violations() []string { return f.violations.All() }
 func (f *Fabric) SetObserver(o *telemetry.Collector) { f.obs = o }
 
 // occupancy is how long a message of the given size holds each link.
+//
+//repro:hotpath
 func (f *Fabric) occupancy(bytes int64) int64 {
 	if f.bytesPerCycle <= 0 {
 		return 0
@@ -156,6 +160,8 @@ func (f *Fabric) occupancy(bytes int64) int64 {
 // It returns the arrival time at dst. A message to the sending node
 // itself crosses no link and arrives immediately; its bytes are
 // accounted as local.
+//
+//repro:hotpath
 func (f *Fabric) Traverse(src, dst int, bytes int64, now int64) int64 {
 	if f.auditing && now < f.auditFloor {
 		f.violations.Addf("interconnect: message %d->%d (%d bytes) injected at t=%d, before event floor %d",
@@ -188,6 +194,8 @@ func (f *Fabric) Traverse(src, dst int, bytes int64, now int64) int64 {
 // writebacks, invalidation fan-out, bulk page copies overlapped with
 // their fixed cost): links are charged and occupied, the arrival time is
 // discarded.
+//
+//repro:hotpath
 func (f *Fabric) Deliver(src, dst int, bytes int64, now int64) {
 	f.Traverse(src, dst, bytes, now)
 }

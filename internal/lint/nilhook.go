@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilHookAnalyzer enforces the telemetry hook contract in the
+// simulation core: every call on a *telemetry.Collector in dsm or
+// interconnect must sit behind a nil guard.
+//
+// Telemetry is opt-in; the machine and fabric hold a nil collector by
+// default, and PR 6's overhead budget rests on the invariant that an
+// uninstrumented run pays exactly one predictable branch per hook —
+// and does not crash. An unguarded hook is therefore both a panic on
+// the default configuration and a creeping violation of the overhead
+// contract. Recognized guard shapes, matching the repository idiom:
+//
+//	if tl := m.tel; tl != nil { tl.PageOp(...) }
+//	if m.tel != nil { m.tel.Dispatch(...) }
+//	if c == nil { return }   // early out; calls below are guarded
+//	if c == nil { ... } else { c.Bind(...) }
+var NilHookAnalyzer = &Analyzer{
+	Name: "nilhook",
+	Doc:  "require telemetry-collector call sites in dsm/interconnect to be behind a nil guard",
+	Run:  runNilHook,
+}
+
+// nilHookScopeSegments are the packages whose hook sites are on the
+// replay hot path and must honor the single-branch contract.
+var nilHookScopeSegments = []string{"dsm", "interconnect"}
+
+func runNilHook(pass *Pass) error {
+	if !pathHasSegment(pass.Pkg.Path(), nilHookScopeSegments...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			recvType := pass.TypesInfo.TypeOf(sel.X)
+			if !isTelemetryCollector(recvType) {
+				return true
+			}
+			if nilGuarded(pass, sel.X, n, stack) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "telemetry hook %s.%s is not behind a nil guard: the collector is nil unless telemetry is attached; wrap the call in `if %s != nil` (the single-branch hook contract)", types.ExprString(sel.X), sel.Sel.Name, types.ExprString(sel.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// isTelemetryCollector reports whether t is telemetry.Collector or a
+// pointer to it, for any package whose path contains a "telemetry"
+// segment (which keeps fixtures loadable outside the module).
+func isTelemetryCollector(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Collector" && obj.Pkg() != nil && pathHasSegment(obj.Pkg().Path(), "telemetry")
+}
+
+// nilGuarded reports whether the receiver expression recv is
+// nil-checked on every path reaching node n.
+func nilGuarded(pass *Pass, recv ast.Expr, n ast.Node, stack []ast.Node) bool {
+	want := types.ExprString(recv)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch anc := stack[i].(type) {
+		case *ast.IfStmt:
+			inBody := i+1 < len(stack) && stack[i+1] == anc.Body
+			inElse := i+1 < len(stack) && stack[i+1] == anc.Else
+			if inBody && condChecksNotNil(anc.Cond, want) {
+				return true
+			}
+			if inElse && condChecksIsNil(anc.Cond, want) {
+				return true
+			}
+		case *ast.BlockStmt:
+			// An earlier `if recv == nil { return }` in an enclosing
+			// block guards everything after it.
+			inner := n
+			if i+1 < len(stack) {
+				inner = stack[i+1]
+			}
+			if blockGuardsBefore(anc, inner, want) {
+				return true
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			// Guards do not cross function boundaries.
+			return false
+		}
+	}
+	return false
+}
+
+// condChecksNotNil reports whether the condition (possibly a
+// conjunction) contains `want != nil`.
+func condChecksNotNil(cond ast.Expr, want string) bool {
+	return condHasNilCheck(cond, want, token.NEQ)
+}
+
+// condChecksIsNil reports whether the condition contains `want == nil`.
+func condChecksIsNil(cond ast.Expr, want string) bool {
+	return condHasNilCheck(cond, want, token.EQL)
+}
+
+func condHasNilCheck(cond ast.Expr, want string, op token.Token) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != op {
+			return true
+		}
+		if exprMatches(be.X, want) && isNilIdent(be.Y) {
+			found = true
+		}
+		if exprMatches(be.Y, want) && isNilIdent(be.X) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func exprMatches(e ast.Expr, want string) bool { return types.ExprString(e) == want }
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// blockGuardsBefore reports whether block contains, before the
+// statement inner (or the statement containing it), an
+// `if want == nil { return ... }` early out.
+func blockGuardsBefore(block *ast.BlockStmt, inner ast.Node, want string) bool {
+	for _, stmt := range block.List {
+		if stmt == inner || containsNode(stmt, inner) {
+			return false
+		}
+		ifs, ok := stmt.(*ast.IfStmt)
+		if !ok || ifs.Else != nil || !condChecksIsNil(ifs.Cond, want) {
+			continue
+		}
+		if bodyTerminates(ifs.Body) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsNode reports whether target lies within root's subtree.
+func containsNode(root, target ast.Node) bool {
+	if root == nil || target == nil {
+		return false
+	}
+	return root.Pos() <= target.Pos() && target.End() <= root.End()
+}
+
+// bodyTerminates reports whether the block's final statement leaves
+// the function (return or panic).
+func bodyTerminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}

@@ -1,0 +1,74 @@
+// Package dsm is an eventtime fixture reproducing the PR 2 flushFrame
+// bug shape: a dirty-frame writeback whose event time is a literal 0
+// instead of the operation's current simulated time.
+package dsm
+
+// block is a stand-in for memory.Block.
+type block struct{ dirty bool }
+
+// fabric is a stand-in for the interconnect with event-timed charges.
+type fabric struct{}
+
+func (f *fabric) Traverse(src, dst int, bytes int64, now int64) int64 { return now + bytes }
+
+// machine is a stand-in for the DSM machine.
+type machine struct {
+	fab *fabric
+}
+
+// writebackRemote mirrors the real signature: the trailing now
+// parameter is the emitting event's simulated time.
+func (m *machine) writebackRemote(n, h int, b block, now int64) int64 {
+	return m.fab.Traverse(n, h, 64, now)
+}
+
+// pageOp carries the operation's running simulated time.
+type pageOp struct {
+	m   *machine
+	now int64
+}
+
+// flushFrameBuggy reintroduces the PR 2 bug: the writeback is charged
+// at t=0 instead of the operation's clock. The analyzer must flag it.
+func (op *pageOp) flushFrameBuggy(n, home int, b block) {
+	if b.dirty {
+		op.m.writebackRemote(n, home, b, 0) // want `literal 0 passed as event-time parameter "now" of op\.m\.writebackRemote`
+	}
+}
+
+// flushFrameFixed threads the operation's current time, as the PR 2
+// fix does.
+func (op *pageOp) flushFrameFixed(n, home int, b block) {
+	if b.dirty {
+		op.m.writebackRemote(n, home, b, op.now)
+	}
+}
+
+// startOfTime is a named constant: naming the zero documents intent,
+// so only bare literals are flagged.
+const startOfTime int64 = 0
+
+// warmAtOrigin uses the named constant and stays clean.
+func (op *pageOp) warmAtOrigin(n, home int, b block) {
+	op.m.writebackRemote(n, home, b, startOfTime)
+}
+
+// preloadFrames is a legitimate time-0 call (initial placement before
+// the first dispatch) and carries the annotation.
+func (op *pageOp) preloadFrames(n, home int, b block) {
+	//lint:eventtime initial placement happens before the first dispatch
+	op.m.writebackRemote(n, home, b, 0)
+}
+
+// unblockAt exercises the "at" parameter name used on scheduler seams.
+func unblockAt(id int, at int64) int64 { return at }
+
+func wake(id int) int64 {
+	return unblockAt(id, 0) // want `literal 0 passed as event-time parameter "at" of unblockAt`
+}
+
+// zeroBytes is a control: literal 0 into a non-event-time integer
+// parameter is fine.
+func (m *machine) zeroBytes(now int64) int64 {
+	return m.fab.Traverse(0, 0, 0, now)
+}

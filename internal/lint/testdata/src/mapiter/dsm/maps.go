@@ -1,0 +1,75 @@
+// Package dsm is a mapiter fixture: its import path carries the "dsm"
+// segment, placing it in the deterministic core.
+package dsm
+
+import "sort"
+
+// stats is a stand-in for per-node counter maps.
+type stats struct {
+	faults map[int]int64
+	owners map[string]bool
+}
+
+// emitUnsorted depends on visit order (appends in map order) and must
+// be flagged.
+func (s *stats) emitUnsorted() []int64 {
+	var out []int64
+	for _, v := range s.faults { // want `range over map s\.faults in deterministic core`
+		out = append(out, v)
+	}
+	return out
+}
+
+// emitSortedKeys collects keys and sorts them before visiting: the
+// collection loop itself is order-insensitive and annotated.
+func (s *stats) emitSortedKeys() []int64 {
+	keys := make([]int, 0, len(s.faults))
+	//lint:unordered key collection is sorted below
+	for k := range s.faults {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([]int64, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.faults[k])
+	}
+	return out
+}
+
+// countOwners ranges without binding key or value: only the count is
+// observable, so order cannot matter and no annotation is needed.
+func (s *stats) countOwners() int {
+	n := 0
+	for range s.owners {
+		n++
+	}
+	return n
+}
+
+// sumInline annotates on the same line as the range statement.
+func (s *stats) sumInline() int64 {
+	var total int64
+	for _, v := range s.faults { //lint:unordered commutative sum
+		total += v
+	}
+	return total
+}
+
+// ownersUnguarded binds the key of a map range with no annotation and
+// must be flagged.
+func (s *stats) ownersUnguarded() []string {
+	var out []string
+	for name := range s.owners { // want `range over map s\.owners in deterministic core`
+		out = append(out, name)
+	}
+	return out
+}
+
+// sliceRange is a control: ranging a slice is always fine.
+func sliceRange(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

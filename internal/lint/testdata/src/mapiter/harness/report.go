@@ -1,0 +1,12 @@
+// Package harness is the mapiter clean fixture: it sits outside the
+// deterministic core, so bare map ranges are not flagged.
+package harness
+
+// Summarize may range freely: harness output is presentation-layer.
+func Summarize(rows map[string]float64) float64 {
+	var total float64
+	for _, v := range rows {
+		total += v
+	}
+	return total
+}

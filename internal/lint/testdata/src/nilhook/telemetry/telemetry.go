@@ -1,0 +1,15 @@
+// Package telemetry is the nilhook fixture collector: its import path
+// carries the "telemetry" segment, so the analyzer recognizes its
+// Collector type.
+package telemetry
+
+// Collector mirrors the real collector's hook surface.
+type Collector struct {
+	dispatches int64
+	pageOps    int64
+}
+
+func (c *Collector) Dispatch(clock int64)     { c.dispatches++ }
+func (c *Collector) PageOp(kind int, t int64) { c.pageOps++ }
+func (c *Collector) Link(id int, b, t int64)  {}
+func (c *Collector) Bind(nodes int)           {}

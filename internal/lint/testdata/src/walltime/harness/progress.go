@@ -1,0 +1,10 @@
+// Package harness is the walltime clean fixture: harness progress and
+// manifest code is presentation-layer and may read the wall clock.
+package harness
+
+import "time"
+
+// Stamp reads wall time for a progress line; exempt by package path.
+func Stamp() string {
+	return time.Now().UTC().Format(time.RFC3339)
+}

@@ -255,6 +255,7 @@ func (s *Sim) Summary() string {
 func Table(rows map[string]float64) string {
 	labels := make([]string, 0, len(rows))
 	w := 0
+	//lint:unordered label collection is sorted below
 	for k := range rows {
 		labels = append(labels, k)
 		if len(k) > w {

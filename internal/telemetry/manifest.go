@@ -61,12 +61,16 @@ type Manifest struct {
 	Commit      string  `json:"commit,omitempty"`
 }
 
-// NewManifest returns a manifest stamped with the current wall time and
-// build metadata; the caller fills in the run identity and wall time.
-func NewManifest() Manifest {
+// NewManifestAt returns a manifest stamped with the given creation
+// time and this build's metadata; the caller fills in the run identity
+// and wall time. Wall-clock time is presentation-layer input, so the
+// harness or command layer observes it and passes it down — this
+// package (part of the deterministic core) never reads the clock
+// itself (see the walltime analyzer in internal/lint).
+func NewManifestAt(created time.Time) Manifest {
 	return Manifest{
 		Schema:     ManifestSchema,
-		Created:    time.Now().UTC().Format(time.RFC3339),
+		Created:    created.UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -264,9 +265,13 @@ func TestWriteTimelineCSV(t *testing.T) {
 }
 
 func TestManifestRoundTrip(t *testing.T) {
-	man := NewManifest()
+	created := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	man := NewManifestAt(created)
 	if man.Schema != ManifestSchema {
 		t.Errorf("schema = %q", man.Schema)
+	}
+	if man.Created != "2026-08-08T12:00:00Z" {
+		t.Errorf("created = %q, want fixed RFC 3339 stamp", man.Created)
 	}
 	if man.GoVersion == "" || man.GOOS == "" || man.GOARCH == "" || man.GOMAXPROCS < 1 {
 		t.Errorf("build metadata unpopulated: %+v", man)
