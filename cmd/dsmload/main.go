@@ -1,0 +1,95 @@
+// Command dsmload load-tests a running dsmserve: it issues a pool of
+// distinct queries from many concurrent clients — first arrivals are
+// cold, repeats are hot, concurrent identical colds coalesce — and
+// prints a JSON report with QPS, latency percentiles and per-layer
+// counts (internal/serve/loadtest).
+//
+// Usage:
+//
+//	dsmserve -addr :8080 &
+//	dsmload -url http://localhost:8080 -n 2000 -c 1000 -distinct 8
+//
+// The query pool is -distinct copies of the same experiment that
+// differ only in seed (1..distinct), so the hot/cold mix is controlled
+// by -n / -distinct. The command exits nonzero if any request fails
+// outright; 429 responses are counted as rejected, not errors, since
+// shedding load is the server behaving as designed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/serve/loadtest"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url         = flag.String("url", "http://127.0.0.1:8080", "server base URL")
+		requests    = flag.Int("n", 2000, "total requests to issue")
+		concurrency = flag.Int("c", 1000, "concurrent in-flight requests")
+		distinct    = flag.Int("distinct", 8, "distinct queries in the pool (seeds 1..distinct)")
+		experiment  = flag.String("experiment", "fig5", "experiment each query runs")
+		appsFlag    = flag.String("apps", "radix", "comma-separated app subset")
+		systemsFlag = flag.String("systems", "ccnuma", "comma-separated system subset")
+		scale       = flag.Int("scale", 64, "problem-size divisor")
+		out         = flag.String("o", "", "write the JSON report to this file (default stdout)")
+	)
+	flag.Parse()
+
+	if *distinct < 1 {
+		return fmt.Errorf("dsmload: -distinct must be >= 1")
+	}
+	var queries []harness.Query
+	for seed := 1; seed <= *distinct; seed++ {
+		q := harness.Query{
+			Experiment: *experiment,
+			Apps:       strings.Split(*appsFlag, ","),
+			Systems:    strings.Split(*systemsFlag, ","),
+			Scale:      *scale,
+			Seed:       uint64(seed),
+		}.Normalize()
+		if err := q.Validate(); err != nil {
+			return fmt.Errorf("dsmload: %w", err)
+		}
+		queries = append(queries, q)
+	}
+
+	report, err := loadtest.Run(context.Background(), loadtest.Options{
+		BaseURL:     *url,
+		Queries:     queries,
+		Requests:    *requests,
+		Concurrency: *concurrency,
+	})
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			return err
+		}
+	} else {
+		os.Stdout.Write(buf)
+	}
+	if report.Errors > 0 {
+		return fmt.Errorf("dsmload: %d of %d requests failed", report.Errors, report.Requests)
+	}
+	return nil
+}

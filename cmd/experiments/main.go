@@ -93,6 +93,8 @@ func run() error {
 	var (
 		exp         = flag.String("experiment", "all", "experiment: fig5, table4, fig6, fig7, fig8, toposweep, scalesweep, params, all")
 		scale       = flag.Int("scale", 1, "problem-size divisor (1 = full size)")
+		seed        = flag.Uint64("seed", 0, "workload-generator seed (0 = the paper's inputs)")
+		fabric      = flag.String("fabric", "", "interconnect override for every run: crossbar, ring, mesh, fattree (empty = experiment default)")
 		scalesFlag  = flag.String("scales", "", "comma-separated scale ladder for -experiment scalesweep (default 8,16,32,64)")
 		appsFlag    = flag.String("apps", "", "comma-separated app subset (default: the paper's seven)")
 		systemsFlag = flag.String("systems", "", "comma-separated system override from the dsm registry (see -list-systems)")
@@ -163,6 +165,8 @@ func run() error {
 	}
 	o := harness.Options{
 		Scale:    *scale,
+		Seed:     *seed,
+		Fabric:   *fabric,
 		Parallel: *parallel,
 		Verbose:  *verbose,
 		Audit:    *audit,
@@ -241,6 +245,11 @@ func run() error {
 		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
 			return err
 		}
+	}
+	if *progress {
+		s := traces.Stats()
+		fmt.Fprintf(os.Stderr, "# tracecache: %d hits, %d coalesced, %d disk hits, %d generated\n",
+			s.Hits, s.Coalesced, s.DiskHits, s.Generated)
 	}
 	return nil
 }

@@ -73,6 +73,23 @@
 // agree with the caches. A protocol path that skews the paper's traffic
 // tables therefore fails loudly instead of silently.
 //
+// internal/serve turns the simulator into a service: cmd/dsmserve
+// answers capacity-planning queries (experiment, apps, systems,
+// fabric, scale, seed) over HTTP/JSON with the exact Record documents
+// cmd/experiments -json emits — byte-identical, a tested invariant —
+// from a three-layer stack built for concurrent traffic: responses
+// memoized content-addressed (the trace store's cache-key discipline
+// applied to whole results, in a bounded LRU over an optional
+// CRC-framed on-disk store), identical concurrent cold queries
+// coalesced into a single flight so a thundering herd runs one
+// simulation, and cold work bounded by a worker pool that sheds
+// overload with 429 + Retry-After and drains cleanly on SIGTERM.
+// cmd/dsmload (internal/serve/loadtest) load-tests a running server
+// with thousands of concurrent mixed hot/cold queries and reports
+// QPS, latency percentiles and per-layer hit counts; the bench
+// suite's ServeLoad case commits those numbers to the BENCH_*.json
+// trajectory.
+//
 // What the run-time audits enforce dynamically, internal/lint enforces
 // statically: repolint (cmd/repolint, also runnable as a go vet
 // -vettool and inside go test via the root lint_test.go) is a

@@ -11,8 +11,9 @@
 // S-COMA relocation/replacement path), engine dispatch, trace streaming
 // in both memory layouts (the live columnar form vs the retired
 // array-of-structs baseline), trace materialization cold (generator)
-// vs warm (on-disk store), and two macrobenchmarks: the full Figure 5
-// sweep and the scale-32 rung of the scale sweep.
+// vs warm (on-disk store), and the macrobenchmarks: the full Figure 5
+// sweep, the scale-32 rung of the scale sweep, and the query server
+// under concurrent mixed hot/cold load (ServeLoad).
 package bench
 
 import (
@@ -41,8 +42,10 @@ type Case struct {
 	// Guarded marks the case as part of the allocation-regression
 	// guard: its allocs/op is compared against the committed baseline.
 	Guarded bool
-	// Macro marks the full-sweep macrobenchmark, which reports the
-	// sim-cycles metric used to derive simulated-cycles-per-second.
+	// Macro marks the whole-system macrobenchmarks (full sweeps, the
+	// serving stack under load) that cmd/benchreport -micro skips; the
+	// sweep macros report the sim-cycles metric used to derive
+	// simulated-cycles-per-second.
 	Macro bool
 }
 
@@ -64,6 +67,7 @@ func Cases() []Case {
 		{Name: "Fig5Sweep", Bench: Fig5Sweep, Guarded: true, Macro: true},
 		{Name: "Fig5SweepTelemetry", Bench: Fig5SweepTelemetry, Guarded: true, Macro: true},
 		{Name: "ScaleSweep32", Bench: ScaleSweep32, Macro: true},
+		{Name: "ServeLoad", Bench: ServeLoad, Macro: true},
 	}
 }
 

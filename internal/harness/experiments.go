@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -204,6 +205,18 @@ func Fig8(o Options) (*Result, error) {
 // baseline whose text/CSV/JSON must stay comparable across PRs.
 func Experiments() []string {
 	return []string{"fig5", "table4", "fig6", "fig7", "fig8", "toposweep"}
+}
+
+// RunByNameContext is RunByName with cancellation: the run stops
+// scheduling new simulations once ctx is cancelled and returns the
+// context's error. Simulations already executing finish — the engine
+// has no preemption points — so cancellation latency is one
+// simulation, not one experiment. This is the entry point a serving
+// layer wants: a drained server abandons queued sweeps without
+// killing the process.
+func RunByNameContext(ctx context.Context, name string, o Options) (*Result, error) {
+	o.ctx = ctx
+	return RunByName(name, o)
 }
 
 // RunByName dispatches one experiment (any Experiments() name, plus

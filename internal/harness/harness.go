@@ -26,6 +26,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -46,6 +47,19 @@ type Options struct {
 	// Scale shrinks the application inputs (1 = full reproduction
 	// size). Tests and benchmarks use larger values.
 	Scale int
+
+	// Seed perturbs the deterministic workload generators (0 = the
+	// paper's inputs). It participates in the trace store's content
+	// address, so distinct seeds are distinct cached workloads.
+	Seed uint64
+
+	// Fabric overrides the interconnect topology of every non-baseline
+	// run ("" = the experiment's own default, the ideal crossbar).
+	// Accepts the config topology names: crossbar, ring, mesh,
+	// fattree. Normalization still runs perfect CC-NUMA on the ideal
+	// crossbar — the same anchor the topology sweep uses — and the
+	// sweep itself rejects an override (it already runs every fabric).
+	Fabric string
 
 	// Apps restricts the run to the named applications (nil = the
 	// paper's seven).
@@ -102,6 +116,19 @@ type Options struct {
 
 	// Out receives the rendered report (required).
 	Out io.Writer
+
+	// ctx cancels a run between simulations; set by RunByNameContext
+	// so long-running sweeps scheduled by a server can be abandoned
+	// when the server drains. nil means "never cancelled".
+	ctx context.Context
+}
+
+// ctxErr reports the cancellation state of the run's context.
+func (o Options) ctxErr() error {
+	if o.ctx == nil {
+		return nil
+	}
+	return o.ctx.Err()
 }
 
 func (o Options) norm() Options {
@@ -260,6 +287,15 @@ func runExperiment(name string, systems []systemRun, o Options) (*Result, error)
 		return nil, err
 	}
 	cl := config.DefaultCluster()
+	if o.Fabric != "" {
+		net := config.Network{Topology: o.Fabric}
+		if err := net.Validate(cl.Nodes); err != nil {
+			return nil, fmt.Errorf("harness: -fabric %q: %w", o.Fabric, err)
+		}
+		for i := range systems {
+			systems[i].net = net
+		}
+	}
 	res := &Result{Name: name, Runs: map[string]map[string]*Run{}}
 	for _, s := range systems {
 		res.Systems = append(res.Systems, s.name())
@@ -270,7 +306,10 @@ func runExperiment(name string, systems []systemRun, o Options) (*Result, error)
 	baseline := systemRun{spec: dsm.PerfectCCNUMA(), tm: config.Default(), th: config.DefaultThresholds()}
 
 	for _, app := range list {
-		params := apps.Params{CPUs: cl.TotalCPUs(), Scale: o.Scale}
+		if err := o.ctxErr(); err != nil {
+			return nil, fmt.Errorf("harness: %s cancelled: %w", name, err)
+		}
+		params := apps.Params{CPUs: cl.TotalCPUs(), Scale: o.Scale, Seed: o.Seed}
 		genStart := time.Now()
 		tr, err := o.Traces.generate(app, params)
 		if err != nil {
@@ -291,7 +330,7 @@ func runExperiment(name string, systems []systemRun, o Options) (*Result, error)
 		all := append([]systemRun{baseline}, systems...)
 		sims := make([]*stats.Sim, len(all))
 		cols := make([]*telemetry.Collector, len(all))
-		if err := forEach(all, o.Parallel, func(i int, s systemRun) error {
+		if err := forEach(o.ctx, all, o.Parallel, func(i int, s systemRun) error {
 			scl := cl
 			scl.Net = s.net
 			ro := dsm.RunOptions{Audit: o.Audit}
@@ -334,10 +373,21 @@ func runExperiment(name string, systems []systemRun, o Options) (*Result, error)
 	return res, nil
 }
 
-// forEach runs f over items, optionally with a worker pool.
-func forEach(items []systemRun, workers int, f func(int, systemRun) error) error {
+// forEach runs f over items, optionally with a worker pool. A non-nil
+// ctx stops dispatching new items once cancelled (items already running
+// complete normally).
+func forEach(ctx context.Context, items []systemRun, workers int, f func(int, systemRun) error) error {
+	cancelled := func() error {
+		if ctx == nil {
+			return nil
+		}
+		return ctx.Err()
+	}
 	if workers <= 1 {
 		for i, it := range items {
+			if err := cancelled(); err != nil {
+				return err
+			}
 			if err := f(i, it); err != nil {
 				return err
 			}
@@ -348,6 +398,10 @@ func forEach(items []systemRun, workers int, f func(int, systemRun) error) error
 	sem := make(chan struct{}, workers)
 	errs := make([]error, len(items))
 	for i, it := range items {
+		if err := cancelled(); err != nil {
+			errs[i] = err
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, it systemRun) {

@@ -8,9 +8,17 @@ import (
 	"repro/internal/stats"
 )
 
+// RecordSchema identifies the Record document format, so JSON emitted
+// by the CLI and served by cmd/dsmserve is self-describing. Bump it on
+// any field change; it participates in the serving layer's result
+// cache key, so a schema change orphans memoized responses instead of
+// replaying stale shapes.
+const RecordSchema = "repro-record/v1"
+
 // Record is one flattened (application, system, fabric) run of an
 // experiment: the row every machine-readable renderer emits.
 type Record struct {
+	Schema     string `json:"schema"`
 	Experiment string `json:"experiment"`
 	App        string `json:"app"`
 	// System is the bare system name; Label is the run's presentation
@@ -55,6 +63,7 @@ func (run *Run) record(experiment string) Record {
 		faults += s.Nodes[i].PageFaults
 	}
 	rec := Record{
+		Schema:     RecordSchema,
 		Experiment: experiment,
 		App:        run.App,
 		System:     run.System,

@@ -48,6 +48,9 @@ func topoLabel(sys, topo string) string { return sys + "@" + topo }
 // migration/replication's bulk 4-KB page moves separate from
 // fine-grain 64-byte caching.
 func TopoSweep(o Options) (*Result, error) {
+	if o.Fabric != "" {
+		return nil, fmt.Errorf("harness: toposweep runs every fabric; a fabric override (%q) is meaningless", o.Fabric)
+	}
 	tm, th := config.Default(), config.DefaultThresholds()
 	specs, err := topoSweepSystems(o, th)
 	if err != nil {

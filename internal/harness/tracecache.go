@@ -2,6 +2,7 @@ package harness
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/apps"
 	"repro/internal/trace"
@@ -39,6 +40,48 @@ type TraceCache struct {
 	// disk is the optional persistent tier (nil = memory only; a nil
 	// *store.Store behaves as always-miss, so no nil checks downstream).
 	disk *store.Store
+
+	// Counters behind Stats(): how requests resolved. A request is
+	// exactly one of hit (completed in-memory entry), coalesced
+	// (joined an in-flight materialization), diskHit (this request led
+	// a flight satisfied from the on-disk store) or generated (led a
+	// flight that ran the generator). inFlight tracks flights whose
+	// result has not landed yet.
+	hits      atomic.Int64
+	coalesced atomic.Int64
+	diskHits  atomic.Int64
+	generated atomic.Int64
+	inFlight  atomic.Int64
+}
+
+// TraceCacheStats is a point-in-time snapshot of the cache's request
+// counters (all zero for a nil cache).
+type TraceCacheStats struct {
+	// Hits served from a completed in-memory entry.
+	Hits int64 `json:"hits"`
+	// Coalesced requests that joined another request's in-flight
+	// materialization instead of starting their own.
+	Coalesced int64 `json:"coalesced"`
+	// DiskHits are flights satisfied by the on-disk store.
+	DiskHits int64 `json:"disk_hits"`
+	// Generated are flights that ran a workload generator.
+	Generated int64 `json:"generated"`
+	// InFlight is the number of materializations currently running.
+	InFlight int64 `json:"in_flight"`
+}
+
+// Stats snapshots the cache's request counters.
+func (tc *TraceCache) Stats() TraceCacheStats {
+	if tc == nil {
+		return TraceCacheStats{}
+	}
+	return TraceCacheStats{
+		Hits:      tc.hits.Load(),
+		Coalesced: tc.coalesced.Load(),
+		DiskHits:  tc.diskHits.Load(),
+		Generated: tc.generated.Load(),
+		InFlight:  tc.inFlight.Load(),
+	}
 }
 
 // traceEntry is one in-flight or completed materialization. done closes
@@ -92,24 +135,38 @@ func (tc *TraceCache) generate(app apps.Info, p apps.Params) (*trace.Trace, erro
 	tc.mu.Lock()
 	if e, ok := tc.m[key]; ok {
 		tc.mu.Unlock()
+		select {
+		case <-e.done:
+			tc.hits.Add(1)
+		default:
+			tc.coalesced.Add(1)
+		}
 		<-e.done
 		return e.tr, e.err
 	}
 	e := &traceEntry{done: make(chan struct{})}
 	tc.m[key] = e
+	tc.inFlight.Add(1)
 	tc.mu.Unlock()
 
-	e.tr, _, e.err = tc.disk.LoadOrGenerate(key, func() (*trace.Trace, error) {
+	var hit bool
+	e.tr, hit, e.err = tc.disk.LoadOrGenerate(key, func() (*trace.Trace, error) {
 		return app.Generate(p)
 	})
-	if e.err != nil {
+	switch {
+	case e.err != nil:
 		// Failed generations are not cached: drop the entry so a later
 		// request (possibly under different conditions) can retry. The
 		// waiters blocked on this flight still observe the error.
 		tc.mu.Lock()
 		delete(tc.m, key)
 		tc.mu.Unlock()
+	case hit:
+		tc.diskHits.Add(1)
+	default:
+		tc.generated.Add(1)
 	}
+	tc.inFlight.Add(-1)
 	close(e.done)
 	return e.tr, e.err
 }

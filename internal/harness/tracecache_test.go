@@ -179,3 +179,71 @@ func TestTraceCacheNilDiskStore(t *testing.T) {
 		t.Errorf("generator ran %d times, want 1", calls.Load())
 	}
 }
+
+// TestTraceCacheStats pins the observability counters: each request
+// resolves as exactly one of hit / coalesced / disk-hit / generated,
+// and the snapshot reflects the split.
+func TestTraceCacheStats(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	app := countingApp("stats", &calls)
+	p := apps.Params{CPUs: 4, Scale: 8}
+
+	cold := NewTraceCacheWithStore(st)
+	if _, err := cold.generate(app, p); err != nil { // generated
+		t.Fatal(err)
+	}
+	if _, err := cold.generate(app, p); err != nil { // hit
+		t.Fatal(err)
+	}
+	s := cold.Stats()
+	if s.Generated != 1 || s.Hits != 1 || s.DiskHits != 0 || s.InFlight != 0 {
+		t.Fatalf("cold cache stats = %+v, want 1 generated, 1 hit", s)
+	}
+
+	warm := NewTraceCacheWithStore(st) // fresh process, warm disk
+	if _, err := warm.generate(app, p); err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Stats(); s.DiskHits != 1 || s.Generated != 0 {
+		t.Fatalf("warm cache stats = %+v, want 1 disk hit, 0 generated", s)
+	}
+
+	// The herd case: 32 concurrent requests for one cold key split into
+	// one leader (generated) and a mix of coalesced and late hits.
+	herd := NewTraceCache()
+	const workers = 32
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	gate := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			<-gate
+			if _, err := herd.generate(app, apps.Params{CPUs: 2, Scale: 2}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	s = herd.Stats()
+	if s.Generated != 1 {
+		t.Fatalf("herd stats = %+v, want exactly 1 generated", s)
+	}
+	if s.Hits+s.Coalesced != workers-1 {
+		t.Fatalf("herd stats = %+v: hits+coalesced = %d, want %d", s, s.Hits+s.Coalesced, workers-1)
+	}
+	if s.InFlight != 0 {
+		t.Fatalf("herd stats = %+v: in-flight after completion", s)
+	}
+
+	// A nil cache answers zeroes rather than panicking.
+	var nilCache *TraceCache
+	if s := nilCache.Stats(); s != (TraceCacheStats{}) {
+		t.Fatalf("nil cache stats = %+v, want zero", s)
+	}
+}

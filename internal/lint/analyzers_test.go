@@ -17,7 +17,7 @@ func TestMapIter(t *testing.T) {
 }
 
 func TestWallTime(t *testing.T) {
-	linttest.Run(t, lint.WallTimeAnalyzer, "walltime/dsm", "walltime/harness")
+	linttest.Run(t, lint.WallTimeAnalyzer, "walltime/dsm", "walltime/harness", "walltime/serve")
 }
 
 func TestEventTime(t *testing.T) {

@@ -1,0 +1,18 @@
+// Package serve is the walltime clean fixture for the serving stack:
+// request latency, uptime and load-test timing are wall-clock
+// quantities by nature, so packages under a serve path segment may
+// read the wall clock.
+package serve
+
+import "time"
+
+// latency measures how long a request handler took; exempt by package
+// path.
+func latency(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}
+
+// uptime stamps the /statusz document; exempt by package path.
+func uptime() time.Time {
+	return time.Now()
+}

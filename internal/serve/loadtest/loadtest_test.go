@@ -1,0 +1,98 @@
+package loadtest
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestRunCountsOutcomes drives the generator against a stub endpoint
+// that behaves like the server (first arrival per body is a miss,
+// repeats are hits, every Nth request is shed with 429) and checks the
+// report's accounting.
+func TestRunCountsOutcomes(t *testing.T) {
+	var n atomic.Int64
+	var handler http.HandlerFunc = func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%10 == 0 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "full", http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("X-Dsm-Cache", "hit")
+		w.Write([]byte("body\n"))
+	}
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	queries := []harness.Query{
+		{Experiment: "fig5", Apps: []string{"radix"}, Scale: 64, Seed: 1},
+		{Experiment: "fig5", Apps: []string{"radix"}, Scale: 64, Seed: 2},
+	}
+	const requests = 100
+	rep, err := Run(context.Background(), Options{
+		BaseURL:     ts.URL,
+		Queries:     queries,
+		Requests:    requests,
+		Concurrency: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != requests {
+		t.Fatalf("requests = %d, want %d", rep.Requests, requests)
+	}
+	if rep.Rejected != requests/10 {
+		t.Fatalf("rejected = %d, want %d", rep.Rejected, requests/10)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors = %d, want 0", rep.Errors)
+	}
+	if got := rep.Hits + rep.DiskHits + rep.Misses + rep.Coalesced; got != requests-rep.Rejected {
+		t.Fatalf("classified %d outcomes, want %d", got, requests-rep.Rejected)
+	}
+	if rep.HitRate != 1 {
+		t.Fatalf("hit rate = %v, want 1 (every 200 was a hit)", rep.HitRate)
+	}
+	if rep.QPS <= 0 || rep.DurationSeconds <= 0 {
+		t.Fatalf("qps=%v duration=%v", rep.QPS, rep.DurationSeconds)
+	}
+	if rep.P50ms < 0 || rep.P50ms > rep.P95ms || rep.P95ms > rep.P99ms {
+		t.Fatalf("percentiles out of order: p50=%v p95=%v p99=%v", rep.P50ms, rep.P95ms, rep.P99ms)
+	}
+}
+
+// TestPercentile pins the nearest-rank arithmetic.
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{50, 5}, {95, 10}, {99, 10}, {100, 10}, {1, 1}}
+	for _, c := range cases {
+		if got := percentile(sorted, c.p); got != c.want {
+			t.Errorf("percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(nil) = %v, want 0", got)
+	}
+}
+
+// TestRunRejectsBadOptions: option validation fails fast.
+func TestRunRejectsBadOptions(t *testing.T) {
+	q := []harness.Query{{}}
+	for _, o := range []Options{
+		{Queries: q, Requests: 1, Concurrency: 1},                      // no URL
+		{BaseURL: "http://x", Requests: 1, Concurrency: 1},             // no queries
+		{BaseURL: "http://x", Queries: q, Concurrency: 1},              // no requests
+		{BaseURL: "http://x", Queries: q, Requests: 1, Concurrency: 0}, // no workers
+	} {
+		if _, err := Run(context.Background(), o); err == nil {
+			t.Errorf("Run(%+v) succeeded, want error", o)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultLRU is the in-memory tier in front of the on-disk ResultStore:
+// a bounded, mutex-guarded LRU of complete response bodies keyed by
+// result key. Eviction is by entry count — responses for one build are
+// all within a small constant factor of each other, so a byte budget
+// would buy complexity without changing behavior much. Bodies are
+// written once and never mutated, so Get can hand out the cached slice
+// without copying.
+type resultLRU struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+// lruEntry is one cached response.
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultLRU returns an LRU holding at most max entries (max < 1 is
+// treated as 1: a cache the server's warm-path test can still observe).
+func newResultLRU(max int) *resultLRU {
+	if max < 1 {
+		max = 1
+	}
+	return &resultLRU{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// get returns the cached body for key, refreshing its recency.
+func (c *resultLRU) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// add installs (or refreshes) a body under key, evicting the least
+// recently used entry when the cache is over budget.
+func (c *resultLRU) add(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).body = body
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, body: body})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len returns the current entry count.
+func (c *resultLRU) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
