@@ -26,6 +26,14 @@ type RunOptions struct {
 	// as the trace executes. Collection is observational: the simulated
 	// statistics are byte-identical with or without it.
 	Telemetry *telemetry.Collector
+
+	// Shards > 1 selects the sharded conservative-PDES engine (see
+	// ExecuteSharded), which produces byte-identical statistics to the
+	// sequential engine. Shards must evenly partition the cluster's
+	// nodes. A run with Telemetry attached always uses the sequential
+	// engine: the collector is unsynchronized by design, and telemetry
+	// runs exist to be compared against plain runs anyway.
+	Shards int
 }
 
 // Run executes a trace on a freshly built machine and returns the
@@ -46,7 +54,12 @@ func RunWithOptions(tr *trace.Trace, spec Spec, cl config.Cluster, tm config.Tim
 	if o.Telemetry != nil {
 		m.AttachTelemetry(o.Telemetry)
 	}
-	if err := m.Execute(tr); err != nil {
+	if o.Shards > 1 && o.Telemetry == nil {
+		err = m.ExecuteSharded(tr, o.Shards)
+	} else {
+		err = m.Execute(tr)
+	}
+	if err != nil {
 		return nil, err
 	}
 	if o.Audit {
@@ -88,96 +101,131 @@ func (m *Machine) Execute(tr *trace.Trace) error {
 			continue
 		}
 		pos[c.ID]++
-		kind := ops.Kinds[i]
-		arg := ops.Args[i]
-		if m.auditing {
-			// The scheduler dispatches events in nondecreasing time
-			// order; the dispatched clock (plus any trace gap) is the
-			// floor below which no message may enter the fabric.
-			if c.Clock < m.lastDispatch {
-				m.violations.Addf("dsm: cpu %d dispatched at %d after event time %d",
-					c.ID, c.Clock, m.lastDispatch)
-			}
-			m.lastDispatch = c.Clock
-		}
-		c.Clock += int64(ops.Gaps[i])
-		if m.auditing {
-			m.fabric.SetAuditFloor(c.Clock)
-		}
-		if m.tel != nil {
-			m.tel.Dispatch(c.Clock)
-		}
-
-		switch kind {
-		case trace.Read:
-			m.access(c, memory.Block(arg), false)
-			sched.Requeue(c)
-		case trace.Write:
-			m.access(c, memory.Block(arg), true)
-			sched.Requeue(c)
-		case trace.Barrier:
-			arrive := c.Clock
-			release, waiters, ok := m.barrier.Arrive(c)
-			if !ok {
-				sched.Park(c)
-				continue
-			}
-			n := m.nodeOf(c.ID)
-			m.st.Nodes[n].SyncCycles += c.Clock - arrive
-			for _, w := range waiters {
-				wn := m.nodeOf(w.ID)
-				m.st.Nodes[wn].SyncCycles += release - w.Clock
-				sched.Unblock(w, release)
-			}
-			sched.Requeue(c)
-		case trace.Lock:
-			l := m.lock(arg)
-			before := c.Clock
-			if !l.Acquire(c) {
-				sched.Park(c)
-				continue
-			}
-			m.chargeLock(c, arg, before)
-			sched.Requeue(c)
-		case trace.Unlock:
-			l := m.lock(arg)
-			m.lockOwn[arg] = m.nodeOf(c.ID)
-			if next := l.Release(c.Clock); next != nil {
-				// Charge the new holder before requeueing it: the
-				// scheduler heap is keyed by clock, so the clock must
-				// reach its final value before Unblock pushes the CPU.
-				// (Charging after the push silently corrupted the heap
-				// and dispatched CPUs out of simulated-time order.)
-				granted := c.Clock
-				if granted > next.Clock {
-					next.Clock = granted
-				}
-				m.chargeLock(next, arg, granted)
-				sched.Unblock(next, next.Clock)
-			}
-			sched.Requeue(c)
-		case trace.Phase:
-			if !m.phaseDone {
-				m.phaseDone = true
-				// The paper's user-invoked directive starts page
-				// monitoring at the beginning of the parallel phase:
-				// discard reference counts from initialization.
-				for _, cnt := range m.mig {
-					if cnt != nil {
-						cnt.reset()
-					}
-				}
-			}
-			sched.Requeue(c)
-		case trace.Pad:
-			sched.Requeue(c)
-		default:
-			return fmt.Errorf("dsm: unknown op kind %v", kind)
+		if err := m.dispatch(c, sched, ops.Kinds[i], ops.Gaps[i], ops.Args[i]); err != nil {
+			return err
 		}
 	}
 	m.st.ExecCycles = sched.MaxClock()
 	m.st.Net = m.fabric.Snapshot()
 	return nil
+}
+
+// dispatch executes one already-peeked trace op on CPU c: the audit
+// pre-checks, the gap advance, and the op itself. sched must be the
+// scheduler that owns c — the machine's global one in a sequential run,
+// c's shard's in a sharded run; CPUs the op releases (barrier waiters,
+// lock grants) are requeued through m.unpark, which routes each to its
+// own scheduler. The sharded engine calls dispatch only from the serial
+// phase, with every shard worker parked, so the op may touch any
+// machine state.
+//
+//repro:hotpath
+func (m *Machine) dispatch(c *engine.CPU, sched *engine.Scheduler, kind trace.Kind, gap uint32, arg uint64) error {
+	if m.auditing {
+		// The scheduler dispatches events in nondecreasing time
+		// order; the dispatched clock (plus any trace gap) is the
+		// floor below which no message may enter the fabric.
+		if c.Clock < m.lastDispatch {
+			m.violations.Addf("dsm: cpu %d dispatched at %d after event time %d",
+				c.ID, c.Clock, m.lastDispatch)
+		}
+		m.lastDispatch = c.Clock
+	}
+	c.Clock += int64(gap)
+	if m.auditing {
+		m.fabric.SetAuditFloor(c.Clock)
+	}
+	if m.tel != nil {
+		m.tel.Dispatch(c.Clock)
+	}
+
+	switch kind {
+	case trace.Read:
+		m.access(c, memory.Block(arg), false)
+		sched.Requeue(c)
+	case trace.Write:
+		m.access(c, memory.Block(arg), true)
+		sched.Requeue(c)
+	case trace.Barrier:
+		arrive := c.Clock
+		release, waiters, ok := m.barrier.Arrive(c)
+		if !ok {
+			sched.Park(c)
+			return nil
+		}
+		n := m.nodeOf(c.ID)
+		m.st.Nodes[n].SyncCycles += c.Clock - arrive
+		for _, w := range waiters {
+			wn := m.nodeOf(w.ID)
+			m.st.Nodes[wn].SyncCycles += release - w.Clock
+			m.unpark(w, release)
+		}
+		sched.Requeue(c)
+	case trace.Lock:
+		l := m.lock(arg)
+		before := c.Clock
+		if !l.Acquire(c) {
+			sched.Park(c)
+			return nil
+		}
+		m.chargeLock(c, arg, before)
+		sched.Requeue(c)
+	case trace.Unlock:
+		l := m.lock(arg)
+		m.lockOwn[arg] = m.nodeOf(c.ID)
+		if next := l.Release(c.Clock); next != nil {
+			// Charge the new holder before requeueing it: the
+			// scheduler heap is keyed by clock, so the clock must
+			// reach its final value before Unblock pushes the CPU.
+			// (Charging after the push silently corrupted the heap
+			// and dispatched CPUs out of simulated-time order.)
+			granted := c.Clock
+			if granted > next.Clock {
+				next.Clock = granted
+			}
+			m.chargeLock(next, arg, granted)
+			m.unpark(next, next.Clock)
+		}
+		sched.Requeue(c)
+	case trace.Phase:
+		if !m.phaseDone {
+			m.phaseDone = true
+			// The paper's user-invoked directive starts page
+			// monitoring at the beginning of the parallel phase:
+			// discard reference counts from initialization.
+			for _, cnt := range m.mig {
+				if cnt != nil {
+					cnt.reset()
+				}
+			}
+		}
+		sched.Requeue(c)
+	case trace.Pad:
+		sched.Requeue(c)
+	default:
+		return unknownOp(kind)
+	}
+	return nil
+}
+
+// unknownOp formats the corrupt-trace error out of line, keeping the
+// formatting machinery off the dispatch hot path.
+func unknownOp(kind trace.Kind) error {
+	return fmt.Errorf("dsm: unknown op kind %v", kind)
+}
+
+// unpark returns a previously parked CPU to its owning scheduler's heap
+// at time at. In a sharded run the CPU may belong to a different shard
+// than the event releasing it (a cross-shard barrier release or lock
+// grant), and its scan streak — stale the moment its clock moved — is
+// invalidated.
+//
+//repro:hotpath
+func (m *Machine) unpark(w *engine.CPU, at int64) {
+	m.schedFor(w.ID).Unblock(w, at)
+	if m.shex != nil {
+		m.shex.markCPU(w.ID)
+	}
 }
 
 // lock returns the engine lock for a trace lock id, creating it lazily.

@@ -1,0 +1,458 @@
+package dsm
+
+// Sharded conservative-PDES execution.
+//
+// ExecuteSharded partitions the cluster's nodes (and their CPUs) across
+// goroutine-owned shards, each with its own indexed event heap, and
+// drives them with the internal/engine/pdes coordinator. The textbook
+// conservative lookahead — no cross-shard message arrives sooner than
+// one fabric hop (interconnect.MinHopLatency) — is unsound here,
+// because a dispatched event mutates globally visible machine state
+// (directory entries, page tables, remote L1 lines) instantly at
+// dispatch, not after a fabric traversal. The sharded engine therefore
+// proves a stronger property per event instead of assuming a latency
+// window per message:
+//
+//   - An op is committed in the parallel phase only when a read-only
+//     scan of the machine state proves it is a sure L1 hit (or a pad, a
+//     post-flip phase marker, or an end-of-trace retire) — an op whose
+//     execution touches nothing outside its own CPU's clock and its own
+//     node's commutative stat counters.
+//   - Every other op — misses, upgrades, page operations, barriers,
+//     locks — executes serially, in exact global (Clock, CPU-ID) order,
+//     through the same dispatch path the sequential engine uses.
+//
+// Committed ops commute with every concurrently committed op and with
+// nothing that could reorder against the serial stream (the commit
+// horizon sits below every shard's first unproven event), so the
+// sharded run's statistics are byte-identical to the sequential run's
+// by construction. The scan results are cached per CPU as "streaks"
+// and invalidated when a serial event touches state the scan read,
+// tracked by page bloom filters, the event's node, and phase flips.
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/engine"
+	"repro/internal/engine/pdes"
+	"repro/internal/memory"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// scanCap bounds how many trace ops one scan walks ahead. A capped
+// streak's frontier is the key after the last proven op — conservative,
+// and the commit loop rescans to extend it when commits catch up.
+const scanCap = 512
+
+// pageBloom is a 256-bit bloom filter over the pages a scan probed (two
+// bits per page). False positives only cost a spurious streak
+// invalidation; false negatives cannot happen, which is what soundness
+// needs.
+type pageBloom [4]uint64
+
+//repro:hotpath
+func (f *pageBloom) add(p memory.Page) {
+	h := uint64(p) * 0x9e3779b97f4a7c15
+	f[(h>>6)&3] |= 1 << (h & 63)
+	f[(h>>38)&3] |= 1 << ((h >> 32) & 63)
+}
+
+//repro:hotpath
+func (f *pageBloom) mayContain(p memory.Page) bool {
+	h := uint64(p) * 0x9e3779b97f4a7c15
+	return f[(h>>6)&3]&(1<<(h&63)) != 0 &&
+		f[(h>>38)&3]&(1<<((h>>32)&63)) != 0
+}
+
+// cpuStreak caches one CPU's scan result: frontier is the dispatch key
+// of the first upcoming op the scan could not prove shard-local (the
+// CPU's conservative horizon contribution), pages collects every page
+// the scanned ops probe, and capped marks a frontier set by scanCap
+// rather than a real unproven op. A streak stays valid until a serial
+// event touches state the scan read.
+type cpuStreak struct {
+	frontier pdes.Key
+	pages    pageBloom
+	valid    bool
+	capped   bool
+}
+
+// shardExec is the per-run state of one sharded execution: the trace
+// cursor and scan streaks shared by all shards (each slot touched only
+// by its owning shard during parallel phases, and only by the
+// coordinator during serial phases).
+type shardExec struct {
+	m      *Machine
+	tr     *trace.Trace
+	pos    []int // [cpu] next trace op index
+	streak []cpuStreak
+	shards []*machineShard
+}
+
+// machineShard owns a contiguous range of nodes and their CPUs: a
+// private scheduler heap over the CPU range plus a shard-local
+// violation log (audit findings made during parallel phases, merged
+// after the run). It implements pdes.Shard.
+type machineShard struct {
+	ex           *shardExec
+	sched        *engine.Scheduler
+	cpuLo, cpuHi int // owned CPU ids [lo, hi)
+	violations   stats.ViolationLog
+}
+
+// schedFor returns the scheduler that owns CPU id: the machine's global
+// scheduler in a sequential run, the owning shard's in a sharded run.
+//
+//repro:hotpath
+func (m *Machine) schedFor(id int) *engine.Scheduler {
+	if m.shards == nil {
+		return m.sched
+	}
+	cpn := m.cl.CPUsPerNode * (m.cl.Nodes / len(m.shards))
+	return m.shards[id/cpn].sched
+}
+
+// PDESStats returns the coordinator counters of the last ExecuteSharded
+// run (zero after a sequential run).
+func (m *Machine) PDESStats() pdes.Stats { return m.pdesStats }
+
+// markCPU invalidates one CPU's streak (it executed a serial event, or
+// its clock moved while parked).
+//
+//repro:hotpath
+func (ex *shardExec) markCPU(id int) { ex.streak[id].valid = false }
+
+// markNode invalidates the streaks of every CPU on node n: a serial
+// event on the node may have replaced sibling L1 lines, node mappings
+// or S-COMA frames its siblings' scans probed.
+//
+//repro:hotpath
+func (ex *shardExec) markNode(n int) {
+	lo, hi := ex.m.cpusOf(n)
+	for id := lo; id < hi; id++ {
+		ex.streak[id].valid = false
+	}
+}
+
+// markPage invalidates every streak whose scan probed page p: the
+// serial event may have changed the page's table entry, mappings,
+// busy horizon, or cached lines.
+//
+//repro:hotpath
+func (ex *shardExec) markPage(p memory.Page) {
+	for id := range ex.streak {
+		st := &ex.streak[id]
+		if st.valid && st.pages.mayContain(p) {
+			st.valid = false
+		}
+	}
+}
+
+// markAll invalidates every streak (the Phase flip changes what every
+// scan's placement check observes).
+func (ex *shardExec) markAll() {
+	for id := range ex.streak {
+		ex.streak[id].valid = false
+	}
+}
+
+// scan walks CPU c's upcoming trace ops and proves as long a run of
+// them shard-local as it can, recording the result in st. It is the
+// read-only twin of the dispatch path: the local/non-local split and
+// the clock model below must stay in lockstep with Machine.dispatch and
+// the front of Machine.access. The scan mutates nothing, so shards may
+// run it concurrently against shared machine state.
+//
+// An op is proven local exactly when the access would return on the L1
+// hit path without entering any fault, placement, upgrade or fill
+// branch: the page is touched, needs no post-phase re-placement, is
+// mapped on this node (or homed here), is not a replicated write
+// target, and the block sits in this CPU's L1 with sufficient
+// permission. Such an op moves only c.Clock (gap, plus waiting out a
+// pre-recorded page-busy horizon) and its own node's commutative
+// SyncCycles sum. Pads always commute; a phase marker commutes once the
+// flip has happened; running off the trace end makes the retire local.
+//
+//repro:shardlocal
+func (ex *shardExec) scan(c *engine.CPU, st *cpuStreak) {
+	m := ex.m
+	ops := &ex.tr.CPUs[c.ID]
+	n := m.nodeOf(c.ID)
+	l1 := m.l1[c.ID]
+	clock := c.Clock
+	i := ex.pos[c.ID]
+	end := i + scanCap
+
+	st.pages = pageBloom{}
+	st.valid = true
+	st.capped = false
+walk:
+	for ; i < len(ops.Kinds); i++ {
+		if i >= end {
+			st.capped = true
+			break
+		}
+		kind := ops.Kinds[i]
+		switch kind {
+		case trace.Pad:
+			clock += int64(ops.Gaps[i])
+		case trace.Phase:
+			if !m.phaseDone {
+				break walk // the flip mutates global state
+			}
+			clock += int64(ops.Gaps[i])
+		case trace.Read, trace.Write:
+			b := memory.Block(ops.Args[i])
+			p := b.Page()
+			st.pages.add(p)
+			e := m.pt.Entry(p) // presized table: a pure read
+			if !e.Touched {
+				break walk // first-touch placement
+			}
+			if m.phaseDone && !m.parallelPlaced[p] {
+				break walk // post-phase re-placement
+			}
+			if e.Home != n && !m.mapped[n][p] {
+				break walk // soft page fault
+			}
+			write := kind == trace.Write
+			if write && e.Replicated {
+				break walk // protection fault collapses the replicas
+			}
+			if s := l1.Lookup(b); s != cache.Modified && (s != cache.Shared || write) {
+				break walk // miss or upgrade
+			}
+			clock += int64(ops.Gaps[i])
+			if t := m.pageBusy[p]; clock < t {
+				clock = t // the hit waits out the page-busy horizon
+			}
+		default:
+			// Barrier/Lock/Unlock (and anything unknown) serialize.
+			break walk
+		}
+	}
+	if i >= len(ops.Kinds) && !st.capped {
+		st.frontier = pdes.Inf // only the (shard-local) retire remains
+		return
+	}
+	st.frontier = pdes.Key{At: clock, ID: int32(c.ID)}
+}
+
+// Prepare rescans every streak the last serial phase invalidated and
+// returns the shard's conservative bound on the key of its earliest
+// event with possible non-local effects: per runnable CPU, the streak's
+// frontier. Parked CPUs contribute nothing: a parked CPU resumes at or
+// after the clock of the serial event that releases it, which the
+// coordinator orders anyway. Prepare runs concurrently with other
+// shards' Prepare calls, against shared state frozen since the serial
+// phase ended; rescanning here rather than at commit time is what lets
+// the horizon rise above the heap minimum — the serial phase always
+// ends having just dirtied the globally earliest CPU.
+//
+//repro:shardlocal
+func (s *machineShard) Prepare() pdes.Key {
+	ex := s.ex
+	h := pdes.Inf
+	for id := s.cpuLo; id < s.cpuHi; id++ {
+		c := s.sched.CPUByID(id)
+		if !c.Runnable() {
+			continue
+		}
+		st := &ex.streak[id]
+		if !st.valid {
+			ex.scan(c, st)
+		}
+		h = h.Min(st.frontier)
+	}
+	return h
+}
+
+// Advance commits provably shard-local ops with keys strictly below
+// limit, re-executing each through the real dispatch machinery (Peek,
+// gap advance, access hit path, Requeue), and rescans dirty streaks as
+// they surface. It runs concurrently with other shards' Advance calls:
+// everything it writes — its own heap, its CPUs' clocks and streaks,
+// its own nodes' stats — is owned by this shard, and everything shared
+// it reads is frozen while workers run.
+//
+//repro:shardlocal
+func (s *machineShard) Advance(limit pdes.Key) int {
+	ex := s.ex
+	m := ex.m
+	committed := 0
+	for {
+		c := s.sched.Top()
+		if c == nil {
+			return committed
+		}
+		k := pdes.Key{At: c.Clock, ID: int32(c.ID)}
+		if !k.Less(limit) {
+			return committed
+		}
+		st := &ex.streak[c.ID]
+		if !st.valid {
+			ex.scan(c, st)
+		}
+		if !k.Less(st.frontier) {
+			if !st.capped {
+				// The heap minimum sits at a real unproven op; no other
+				// CPU of this shard can be earlier. The serial phase
+				// takes it from here.
+				return committed
+			}
+			ex.scan(c, st) // extend a capped streak and retry
+			if !k.Less(st.frontier) {
+				return committed
+			}
+		}
+
+		// Commit: the op is proven local and below the horizon. Peek
+		// (not Top) so dispatch counting matches the sequential engine.
+		c = s.sched.Peek()
+		ops := &ex.tr.CPUs[c.ID]
+		i := ex.pos[c.ID]
+		if i >= len(ops.Kinds) {
+			s.sched.Retire(c)
+			committed++
+			continue
+		}
+		ex.pos[c.ID]++
+		if m.auditing && c.Clock < m.lastDispatch {
+			// lastDispatch is frozen at the serial frontier while
+			// workers run; a committed key below it means the horizon
+			// proof failed. Shard-local log: merged after the run.
+			s.violations.Addf("dsm: shard cpu %d committed at %d behind serial frontier %d",
+				c.ID, c.Clock, m.lastDispatch)
+		}
+		c.Clock += int64(ops.Gaps[i])
+		switch ops.Kinds[i] {
+		case trace.Read:
+			m.access(c, memory.Block(ops.Args[i]), false)
+		case trace.Write:
+			m.access(c, memory.Block(ops.Args[i]), true)
+		case trace.Pad, trace.Phase:
+			// Nothing beyond the gap: the scan only admits a Phase
+			// marker after the flip, where dispatch is a no-op too.
+		}
+		s.sched.Requeue(c)
+		committed++
+	}
+}
+
+// done reports whether every shard has retired all its CPUs.
+func (ex *shardExec) done() bool {
+	for _, s := range ex.shards {
+		if !s.sched.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// step executes the globally earliest remaining event through the full
+// sequential dispatch path, and returns its key. The coordinator calls
+// it with every shard worker parked, so it may touch any machine state;
+// before dispatching, it invalidates the streaks the event can
+// invalidate (the executing CPU's, its node's and its page's for
+// accesses, everyone's for the phase flip; parked CPUs it releases are
+// handled by Machine.unpark).
+func (ex *shardExec) step() (pdes.Key, error) {
+	var best *machineShard
+	bestKey := pdes.Inf
+	for _, s := range ex.shards {
+		if c := s.sched.Top(); c != nil {
+			if k := (pdes.Key{At: c.Clock, ID: int32(c.ID)}); k.Less(bestKey) {
+				best, bestKey = s, k
+			}
+		}
+	}
+	if best == nil {
+		return pdes.Key{}, fmt.Errorf("dsm: deadlock: no runnable cpu (%s)", ex.tr.Name)
+	}
+	m := ex.m
+	c := best.sched.Peek()
+	ex.markCPU(c.ID)
+	ops := &ex.tr.CPUs[c.ID]
+	i := ex.pos[c.ID]
+	if i >= len(ops.Kinds) {
+		best.sched.Retire(c)
+		return bestKey, nil
+	}
+	ex.pos[c.ID]++
+	kind, arg := ops.Kinds[i], ops.Args[i]
+	switch kind {
+	case trace.Read, trace.Write:
+		ex.markPage(memory.Block(arg).Page())
+		ex.markNode(m.nodeOf(c.ID))
+	case trace.Phase:
+		if !m.phaseDone {
+			ex.markAll()
+		}
+	}
+	if err := m.dispatch(c, best.sched, kind, ops.Gaps[i], arg); err != nil {
+		return pdes.Key{}, err
+	}
+	return bestKey, nil
+}
+
+// ExecuteSharded replays the trace with the machine's nodes partitioned
+// across the given number of shards, producing statistics byte-identical
+// to Execute's. shards must evenly divide the cluster's node count;
+// shards <= 1 falls back to the sequential engine. A machine with
+// telemetry attached refuses sharded execution (the collector is
+// unsynchronized); callers gate on that before selecting the engine.
+func (m *Machine) ExecuteSharded(tr *trace.Trace, shards int) error {
+	if shards <= 1 {
+		return m.Execute(tr)
+	}
+	if tr.NumCPUs() != m.cl.TotalCPUs() {
+		return fmt.Errorf("dsm: trace has %d cpus, machine has %d", tr.NumCPUs(), m.cl.TotalCPUs())
+	}
+	if m.cl.Nodes%shards != 0 {
+		return fmt.Errorf("dsm: %d shards do not evenly partition %d nodes", shards, m.cl.Nodes)
+	}
+	if m.tel != nil {
+		return fmt.Errorf("dsm: telemetry requires the sequential engine")
+	}
+
+	ex := &shardExec{
+		m:      m,
+		tr:     tr,
+		pos:    make([]int, tr.NumCPUs()),
+		streak: make([]cpuStreak, tr.NumCPUs()),
+		shards: make([]*machineShard, shards),
+	}
+	nodesPer := m.cl.Nodes / shards
+	cpusPer := nodesPer * m.cl.CPUsPerNode
+	pshards := make([]pdes.Shard, shards)
+	for i := range ex.shards {
+		sh := &machineShard{ex: ex, cpuLo: i * cpusPer, cpuHi: (i + 1) * cpusPer}
+		sh.sched = engine.NewSchedulerRange(sh.cpuLo, sh.cpuHi)
+		ex.shards[i] = sh
+		pshards[i] = sh
+	}
+	m.shex = ex
+	m.shards = ex.shards
+	defer func() { m.shex, m.shards = nil, nil }()
+
+	pst, err := pdes.Run(pdes.Config{Shards: pshards, Step: ex.step, Done: ex.done})
+	if err != nil {
+		return err
+	}
+	m.pdesStats = pst
+
+	var max int64
+	for _, sh := range ex.shards {
+		if mc := sh.sched.MaxClock(); mc > max {
+			max = mc
+		}
+		for _, v := range sh.violations.All() {
+			m.violations.Addf("%s", v)
+		}
+	}
+	m.st.ExecCycles = max
+	m.st.Net = m.fabric.Snapshot()
+	return nil
+}

@@ -1,0 +1,126 @@
+package dsm
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/config"
+	"repro/internal/trace"
+)
+
+// runEngine executes tr on a fresh machine with the given shard count
+// (0 = sequential), auditing enabled, and returns the machine.
+func runEngine(t *testing.T, spec Spec, tr *trace.Trace, shards int) *Machine {
+	t.Helper()
+	m, err := NewMachine(spec, config.DefaultCluster(), config.Default(),
+		config.DefaultThresholds(), tr.Footprint, tr.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableAudit()
+	if shards > 1 {
+		err = m.ExecuteSharded(tr, shards)
+	} else {
+		err = m.Execute(tr)
+	}
+	if err != nil {
+		t.Fatalf("%s shards=%d: %v", spec.Name, shards, err)
+	}
+	if v := m.AuditViolations(); len(v) > 0 {
+		t.Fatalf("%s shards=%d: audit violations: %v", spec.Name, shards, v)
+	}
+	if v := m.Fabric().Violations(); len(v) > 0 {
+		t.Fatalf("%s shards=%d: fabric violations: %v", spec.Name, shards, v)
+	}
+	return m
+}
+
+// TestShardedMatchesSequential is the core equivalence claim of the
+// sharded engine: for every system class and a mix of applications, the
+// sharded run's complete statistics equal the sequential run's exactly
+// — not approximately — for every shard count that partitions the
+// cluster.
+func TestShardedMatchesSequential(t *testing.T) {
+	cl := config.DefaultCluster()
+	specs := []Spec{CCNUMA(), MigRep(), RNUMA()}
+	var traces []*trace.Trace
+	for _, app := range apps.Paper() {
+		tr, err := app.Generate(apps.Params{CPUs: cl.TotalCPUs(), Scale: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, tr)
+	}
+	var committed int64
+	for _, spec := range specs {
+		for _, tr := range traces {
+			seq := runEngine(t, spec, tr, 0)
+			for _, shards := range []int{2, 4, 8} {
+				par := runEngine(t, spec, tr, shards)
+				if !reflect.DeepEqual(seq.Stats(), par.Stats()) {
+					t.Errorf("%s on %s: shards=%d statistics diverge from sequential",
+						spec.Name, tr.Name, shards)
+				}
+				// Every commit and every serial step is exactly one
+				// scheduler dispatch, so the coordinator's totals must
+				// equal the sequential engine's dispatch count.
+				pst := par.PDESStats()
+				if seqd := seq.sched.Dispatches(); seqd != pst.Committed+pst.Serial {
+					t.Errorf("%s on %s: shards=%d dispatched %d events, sequential %d",
+						spec.Name, tr.Name, shards, pst.Committed+pst.Serial, seqd)
+				}
+				committed += pst.Committed
+			}
+		}
+	}
+	if committed == 0 {
+		t.Error("no events ever committed in parallel; the sharded engine degenerated to serial")
+	}
+}
+
+// TestShardedSynchronizationHeavy drives the serial-dominated paths:
+// cross-shard barriers, contended locks crossing shard boundaries, and
+// the phase flip, all with zero-gap collisions.
+func TestShardedSynchronizationHeavy(t *testing.T) {
+	cl := config.DefaultCluster()
+	n := cl.TotalCPUs()
+	tr := &trace.Trace{Name: "syncheavy", CPUs: make([]trace.Stream, n), Footprint: 1 << 20}
+	for cpu := 0; cpu < n; cpu++ {
+		ops := []trace.Op{
+			wr(uint64(cpu * config.BlocksPerPage)),
+			{Kind: trace.Barrier, Arg: 0},
+			{Kind: trace.Phase},
+			{Kind: trace.Lock, Arg: 0},
+			{Kind: trace.Pad, Gap: 10},
+			{Kind: trace.Unlock, Arg: 0},
+			rd(uint64(cpu * config.BlocksPerPage)),
+			rd(uint64(((cpu + 7) % n) * config.BlocksPerPage)),
+			{Kind: trace.Barrier, Arg: 1},
+			rd(uint64(cpu * config.BlocksPerPage)),
+		}
+		tr.CPUs[cpu] = trace.StreamOf(ops...)
+	}
+	for _, spec := range []Spec{CCNUMA(), MigRep()} {
+		seq := runEngine(t, spec, tr, 0)
+		for _, shards := range []int{2, 8} {
+			par := runEngine(t, spec, tr, shards)
+			if !reflect.DeepEqual(seq.Stats(), par.Stats()) {
+				t.Errorf("%s: shards=%d statistics diverge on sync-heavy trace", spec.Name, shards)
+			}
+		}
+	}
+}
+
+// TestShardedRejectsBadPartition pins the shard-count validation.
+func TestShardedRejectsBadPartition(t *testing.T) {
+	tr := tinyTrace(1<<16, map[int][]trace.Op{0: {rd(0)}})
+	m, err := NewMachine(CCNUMA(), config.DefaultCluster(), config.Default(),
+		config.DefaultThresholds(), tr.Footprint, tr.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ExecuteSharded(tr, 3); err == nil {
+		t.Fatal("3 shards over 8 nodes accepted")
+	}
+}

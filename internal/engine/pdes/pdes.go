@@ -1,0 +1,246 @@
+// Package pdes coordinates a sharded, conservative parallel
+// discrete-event simulation over goroutine-owned shards.
+//
+// The model is classic conservative PDES with a twist forced by the
+// simulator it drives. In textbook Chandy–Misra–Bryant, a shard may
+// advance to min(neighbor horizons) + lookahead, where the lookahead is
+// the minimum latency of a cross-shard message (here: one fabric hop).
+// That rule is sound for simulators whose only cross-shard coupling is
+// messages. The DSM machine's coupling is stronger: a dispatched event
+// mutates globally visible state (directory entries, page tables,
+// remote cache lines) at dispatch time, with zero latency — an
+// invalidation issued by shard A at time t changes what shard B's very
+// next event at time t+1 observes. The effective lookahead of such
+// events is zero, so a hop-latency window cannot order them.
+//
+// The coordinator therefore splits each round into three phases:
+//
+//   - a parallel prepare phase, in which every shard concurrently
+//     refreshes whatever conservative state the serial phase staled and
+//     publishes its horizon — a lower bound on the key of its earliest
+//     event that might have non-local effects. Preparing in parallel,
+//     after the serial phase, is load-bearing: the serial phase always
+//     ends having just touched the globally earliest processor, so a
+//     horizon computed from stale state would forever equal the global
+//     minimum key and admit no parallelism at all;
+//   - a parallel commit phase, in which every shard concurrently
+//     executes only events it can prove are shard-local and commuting
+//     (the shard's Advance method encodes the proof), strictly below
+//     the global horizon key M = min over shards of the published
+//     horizons;
+//   - a serial phase, in which the coordinator executes a batch of the
+//     globally earliest remaining events — the ones with cross-shard
+//     effects — in exact (time, ID) order through the Step callback.
+//
+// Because every committed event has a key below M and provably commutes
+// with every other committed event, while every ordering-sensitive
+// event executes serially in global key order, the interleaving is
+// equivalent to the sequential simulation — the parallel engine's
+// results are byte-identical by construction, not by tolerance. The
+// published horizon doubles as the null message of CMB: a shard with
+// nothing to commit still publishes a bound, so no round deadlocks
+// waiting for a quiet shard.
+package pdes
+
+import (
+	"fmt"
+	"math"
+)
+
+// Key is a global event-dispatch key: simulated time, tie-broken by CPU
+// ID. The engine scheduler dispatches the unique (Clock, ID) minimum,
+// so Keys totally order events exactly as the sequential engine does.
+type Key struct {
+	At int64
+	ID int32
+}
+
+// Inf is the key past every event: the horizon of a shard whose
+// remaining work is entirely local.
+var Inf = Key{At: math.MaxInt64, ID: math.MaxInt32}
+
+// Less reports whether k orders strictly before o.
+func (k Key) Less(o Key) bool {
+	if k.At != o.At {
+		return k.At < o.At
+	}
+	return k.ID < o.ID
+}
+
+// Min returns the smaller of k and o.
+func (k Key) Min(o Key) Key {
+	if o.Less(k) {
+		return o
+	}
+	return k
+}
+
+// Shard is one goroutine-owned partition of the simulation.
+//
+// The coordinator calls Step only while every worker is parked at a
+// phase barrier; Prepare runs concurrently with other shards' Prepare
+// calls and Advance with other shards' Advance calls — so both may
+// freely mutate shard-owned state and read shared state, but must not
+// write anything another shard could read.
+type Shard interface {
+	// Prepare refreshes whatever conservative per-shard state the last
+	// serial phase invalidated, and returns the shard's horizon: a
+	// lower bound on the key of its earliest event that might have
+	// effects outside the shard. Events the shard has already proven
+	// local may lie below the horizon; everything unproven must not.
+	// Inf means the shard's remaining work is all local (or it has
+	// none).
+	Prepare() Key
+
+	// Advance executes as many provably shard-local, commuting events
+	// with keys strictly below limit as the shard can, and returns how
+	// many it committed.
+	Advance(limit Key) int
+}
+
+// Config wires a simulation into the coordinator.
+type Config struct {
+	// Shards is the partition; len(Shards) == 1 degenerates to an
+	// almost-sequential run (every event flows through Step).
+	Shards []Shard
+
+	// Step executes the globally earliest remaining event — across all
+	// shards — and returns its key. It is called only between parallel
+	// phases, so it may touch any state. Returning an error (deadlock,
+	// corrupt trace) aborts the run.
+	Step func() (Key, error)
+
+	// Done reports whether the simulation has finished.
+	Done func() bool
+
+	// SerialBatch is the initial number of Step calls per serial phase;
+	// zero selects a default. The coordinator adapts it between rounds:
+	// when commit phases find little parallel work the batch grows to
+	// amortize barrier costs, and shrinks again when parallelism
+	// returns.
+	SerialBatch int
+}
+
+// Stats describes one coordinated run.
+type Stats struct {
+	// Rounds is the number of commit-phase/serial-phase cycles.
+	Rounds int64
+	// Committed counts events executed inside parallel commit phases.
+	Committed int64
+	// Serial counts events executed by Step.
+	Serial int64
+}
+
+const (
+	defaultSerialBatch = 256
+	minSerialBatch     = 64
+	maxSerialBatch     = 1 << 16
+)
+
+// Run drives the simulation to completion: rounds of a parallel
+// prepare phase (each shard refreshes its conservative state and
+// publishes its horizon), a parallel commit phase below the global
+// minimum of those horizons, and a serial batch of globally-ordered
+// steps, until Done. Workers are persistent goroutines parked on
+// channels between phases; Run returns only after every worker has
+// exited.
+func Run(cfg Config) (Stats, error) {
+	var st Stats
+	if cfg.Done() {
+		return st, nil
+	}
+	batch := cfg.SerialBatch
+	if batch <= 0 {
+		batch = defaultSerialBatch
+	}
+
+	// Persistent workers: one per shard, parked on reqs between phases.
+	// Buffered channels let the coordinator fan out and gather without
+	// handshakes. A prepare request answers with the shard's horizon, a
+	// commit request with how many events it committed.
+	type req struct {
+		prepare bool
+		limit   Key
+	}
+	type resp struct {
+		horizon Key
+		count   int
+	}
+	reqs := make([]chan req, len(cfg.Shards))
+	resps := make([]chan resp, len(cfg.Shards))
+	for i, sh := range cfg.Shards {
+		reqs[i] = make(chan req, 1)
+		resps[i] = make(chan resp, 1)
+		go func(sh Shard, in <-chan req, out chan<- resp) {
+			for r := range in {
+				if r.prepare {
+					out <- resp{horizon: sh.Prepare()}
+				} else {
+					out <- resp{count: sh.Advance(r.limit)}
+				}
+			}
+		}(sh, reqs[i], resps[i])
+	}
+	defer func() {
+		for _, ch := range reqs {
+			close(ch)
+		}
+	}()
+
+	lastKey := Key{At: math.MinInt64, ID: math.MinInt32}
+	for !cfg.Done() {
+		st.Rounds++
+
+		// Parallel prepare + null-message exchange: every shard
+		// refreshes its conservative state and publishes its horizon;
+		// the minimum bounds what any shard may commit.
+		horizon := Inf
+		for i := range cfg.Shards {
+			reqs[i] <- req{prepare: true}
+		}
+		for i := range cfg.Shards {
+			horizon = horizon.Min((<-resps[i]).horizon)
+		}
+
+		// Parallel commit phase.
+		committed := 0
+		for i := range cfg.Shards {
+			reqs[i] <- req{limit: horizon}
+		}
+		for i := range cfg.Shards {
+			committed += (<-resps[i]).count
+		}
+		st.Committed += int64(committed)
+		if cfg.Done() {
+			break
+		}
+
+		// Serial phase: the globally earliest events, in exact key
+		// order. Keys must be non-decreasing — a regression means a
+		// commit phase ran an event it could not prove local, which
+		// would break byte-identity silently if left undetected.
+		for i := 0; i < batch && !cfg.Done(); i++ {
+			k, err := cfg.Step()
+			if err != nil {
+				return st, err
+			}
+			if k.Less(lastKey) {
+				return st, fmt.Errorf("pdes: serial event key (%d,%d) regressed below (%d,%d)",
+					k.At, k.ID, lastKey.At, lastKey.ID)
+			}
+			lastKey = k
+			st.Serial++
+		}
+
+		// Adapt the serial batch to the observed parallelism: barriers
+		// are pure overhead while the workload is serial-dominated.
+		if committed < batch/4 {
+			if batch < maxSerialBatch {
+				batch *= 2
+			}
+		} else if batch > minSerialBatch {
+			batch /= 2
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,225 @@
+package pdes
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// fakeShard models a shard as a sorted list of events, each either
+// local (committable in parallel) or global (must flow through Step).
+type fakeShard struct {
+	mu     sync.Mutex
+	events []fakeEvent // sorted by key
+	log    *commitLog
+}
+
+type fakeEvent struct {
+	key   Key
+	local bool
+}
+
+// commitLog records the order constraint the coordinator must enforce:
+// no local event may commit after a global event with a larger key has
+// already executed... and vice versa. It tracks the maximum global key
+// executed so far and fails on any local commit below it that was
+// still pending when the global ran.
+type commitLog struct {
+	mu        sync.Mutex
+	globalMax Key
+	violation bool
+}
+
+func (s *fakeShard) Prepare() Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.events {
+		if !e.local {
+			return e.key
+		}
+	}
+	return Inf
+}
+
+func (s *fakeShard) Advance(limit Key) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if !e.local || !e.key.Less(limit) {
+			break
+		}
+		s.log.mu.Lock()
+		// A local event committing below an already-executed global
+		// event's key means the coordinator let a shard run behind the
+		// serial frontier.
+		if e.key.Less(s.log.globalMax) {
+			s.log.violation = true
+		}
+		s.log.mu.Unlock()
+		s.events = s.events[1:]
+		n++
+	}
+	return n
+}
+
+func (s *fakeShard) next() (Key, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.events) == 0 {
+		return Inf, false
+	}
+	return s.events[0].key, true
+}
+
+func (s *fakeShard) pop() fakeEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.events[0]
+	s.events = s.events[1:]
+	return e
+}
+
+// buildShards lays out interleaved local/global events across shards
+// with deliberate key collisions (many events share At values).
+func buildShards(nShards, perShard int, log *commitLog) []*fakeShard {
+	shards := make([]*fakeShard, nShards)
+	for si := range shards {
+		sh := &fakeShard{log: log}
+		at := int64(0)
+		for i := 0; i < perShard; i++ {
+			// Deterministic pseudo-random mix; every 5th event global.
+			at += int64((si*7 + i*3) % 4)
+			sh.events = append(sh.events, fakeEvent{
+				key:   Key{At: at, ID: int32(si*perShard + i)},
+				local: (si+i)%5 != 0,
+			})
+		}
+		shards[si] = sh
+	}
+	return shards
+}
+
+func TestRunExecutesEverythingInOrder(t *testing.T) {
+	log := &commitLog{}
+	shards := buildShards(4, 200, log)
+	cfg := Config{
+		Shards:      []Shard{shards[0], shards[1], shards[2], shards[3]},
+		SerialBatch: 8,
+	}
+	cfg.Done = func() bool {
+		for _, s := range shards {
+			if _, ok := s.next(); ok {
+				return false
+			}
+		}
+		return true
+	}
+	cfg.Step = func() (Key, error) {
+		best := -1
+		bestKey := Inf
+		for i, s := range shards {
+			if k, ok := s.next(); ok && k.Less(bestKey) {
+				best, bestKey = i, k
+			}
+		}
+		if best < 0 {
+			return Key{}, errors.New("deadlock: no events left")
+		}
+		e := shards[best].pop()
+		log.mu.Lock()
+		if log.globalMax.Less(e.key) {
+			log.globalMax = e.key
+		}
+		log.mu.Unlock()
+		return e.key, nil
+	}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.violation {
+		t.Fatal("a shard committed a local event below the executed serial frontier")
+	}
+	total := st.Committed + st.Serial
+	if total != 4*200 {
+		t.Fatalf("executed %d events (committed %d, serial %d), want %d", total, st.Committed, st.Serial, 4*200)
+	}
+	if st.Committed == 0 {
+		t.Fatal("no events committed in parallel; the commit phase never engaged")
+	}
+	if st.Rounds == 0 {
+		t.Fatal("no rounds recorded")
+	}
+}
+
+// TestRunSingleShardAllGlobal degenerates to a purely serial run.
+func TestRunSingleShardAllGlobal(t *testing.T) {
+	log := &commitLog{}
+	sh := &fakeShard{log: log}
+	for i := 0; i < 50; i++ {
+		sh.events = append(sh.events, fakeEvent{key: Key{At: int64(i), ID: 0}, local: false})
+	}
+	cfg := Config{Shards: []Shard{sh}}
+	cfg.Done = func() bool { _, ok := sh.next(); return !ok }
+	cfg.Step = func() (Key, error) {
+		e := sh.pop()
+		return e.key, nil
+	}
+	st, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Serial != 50 || st.Committed != 0 {
+		t.Fatalf("serial=%d committed=%d, want 50/0", st.Serial, st.Committed)
+	}
+}
+
+// TestRunPropagatesStepError pins that a Step failure aborts the run
+// and shuts the workers down (Run returning is the proof).
+func TestRunPropagatesStepError(t *testing.T) {
+	sh := &fakeShard{log: &commitLog{}}
+	sh.events = []fakeEvent{{key: Key{At: 1}, local: false}}
+	boom := errors.New("boom")
+	cfg := Config{
+		Shards: []Shard{sh},
+		Done:   func() bool { return false },
+		Step:   func() (Key, error) { return Key{}, boom },
+	}
+	if _, err := Run(cfg); !errors.Is(err, boom) {
+		t.Fatalf("Run error = %v, want %v", err, boom)
+	}
+}
+
+// TestRunRejectsKeyRegression pins the coordinator-level audit: serial
+// keys must be non-decreasing.
+func TestRunRejectsKeyRegression(t *testing.T) {
+	sh := &fakeShard{log: &commitLog{}}
+	cfg := Config{Shards: []Shard{sh}}
+	keys := []Key{{At: 10}, {At: 5}}
+	i := 0
+	cfg.Done = func() bool { return i >= len(keys) }
+	cfg.Step = func() (Key, error) { k := keys[i]; i++; return k, nil }
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted a regressing serial key sequence")
+	}
+}
+
+func TestKeyOrdering(t *testing.T) {
+	a := Key{At: 5, ID: 3}
+	b := Key{At: 5, ID: 4}
+	c := Key{At: 6, ID: 0}
+	if !a.Less(b) || !b.Less(c) || b.Less(a) || c.Less(a) {
+		t.Fatal("Key.Less is not the (At, ID) lexicographic order")
+	}
+	if a.Less(a) {
+		t.Fatal("Key.Less is not strict")
+	}
+	if !a.Less(Inf) {
+		t.Fatal("Inf does not dominate")
+	}
+	if got := b.Min(a); got != a {
+		t.Fatalf("Min = %v, want %v", got, a)
+	}
+}

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// renderAll runs one experiment and returns its three renderings —
+// the human text report and the machine CSV and JSON documents — as
+// raw bytes. Audit is on: every simulation also runs under event-time
+// discipline and traffic-conservation checks.
+func renderAll(t *testing.T, name string, o Options) (text, csv, json []byte) {
+	t.Helper()
+	var textBuf bytes.Buffer
+	o.Out = &textBuf
+	r, err := RunByName(name, o)
+	if err != nil {
+		t.Fatalf("%s (scale %d, shards %d): %v", name, o.Scale, o.Shards, err)
+	}
+	var csvBuf, jsonBuf bytes.Buffer
+	if err := r.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	return textBuf.Bytes(), csvBuf.Bytes(), jsonBuf.Bytes()
+}
+
+// TestShardedHarnessMatchesSequential is the harness-level equivalence
+// guarantee behind the -shards flag: every experiment, rendered as
+// text, CSV, and JSON, is byte-for-byte identical whether it ran on
+// the sequential engine or the sharded conservative-PDES engine at
+// any admissible shard count. This is what lets the serving layer
+// treat Shards as a pure execution knob (one cache entry per query
+// regardless of engine) and what makes the flag safe to flip on any
+// published result.
+func TestShardedHarnessMatchesSequential(t *testing.T) {
+	for _, scale := range []int{8, 16} {
+		for _, name := range Experiments() {
+			var wantText, wantCSV, wantJSON []byte
+			for _, shards := range []int{1, 2, 4} {
+				o := Options{Scale: scale, Apps: []string{"radix"}, Parallel: 4, Shards: shards, Audit: true}
+				text, csv, json := renderAll(t, name, o)
+				if shards == 1 {
+					wantText, wantCSV, wantJSON = text, csv, json
+					continue
+				}
+				id := fmt.Sprintf("%s scale %d shards %d", name, scale, shards)
+				if !bytes.Equal(text, wantText) {
+					t.Errorf("%s: text report differs from sequential", id)
+				}
+				if !bytes.Equal(csv, wantCSV) {
+					t.Errorf("%s: CSV differs from sequential", id)
+				}
+				if !bytes.Equal(json, wantJSON) {
+					t.Errorf("%s: JSON differs from sequential", id)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedHarnessAuditClean: the sharded engine stays audit-clean
+// (event-time discipline, traffic conservation) across the whole
+// experiment suite at the small end of the scale ladder with the
+// widest admissible partition that still has multiple CPUs per shard.
+func TestShardedHarnessAuditClean(t *testing.T) {
+	var buf bytes.Buffer
+	for _, name := range Experiments() {
+		o := Options{Scale: 64, Apps: []string{"radix"}, Parallel: 4, Shards: 4, Out: &buf, Audit: true}
+		if _, err := RunByName(name, o); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

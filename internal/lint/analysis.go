@@ -52,6 +52,7 @@ func Suite() []*Analyzer {
 		EventTimeAnalyzer,
 		HotAllocAnalyzer,
 		NilHookAnalyzer,
+		ShardLocalAnalyzer,
 	}
 }
 

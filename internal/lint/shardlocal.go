@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ShardLocalAnalyzer guards functions annotated `//repro:shardlocal`
+// — the code paths the sharded conservative-PDES engine runs
+// concurrently across shard goroutines — against unguarded access to
+// shared simulator state.
+//
+// The sharded engine's soundness argument (internal/dsm/shard.go) is
+// that everything a parallel phase executes either reads shared state
+// frozen for the duration of the phase or writes state its shard
+// owns. That argument is easy to break silently: one new call from a
+// scan or commit loop into a Machine mutator (a fault path, a page
+// operation, an unpark) is a data race the race detector only catches
+// if a test happens to interleave it. The analyzer rejects the access
+// statically instead: inside a //repro:shardlocal function, method
+// calls on the shared-state types (Machine, PageTable, L1, Fabric)
+// must be on a per-type allowlist of calls the equivalence argument
+// has been reviewed to cover, and assignments through a Machine
+// receiver (`m.field = ...`, `m.mapped[n][p] = ...`) are forbidden
+// outright.
+//
+// Like hotalloc, the check is not transitive: an allowlisted call
+// (Machine.access on a scan-proven hit) may itself touch whatever its
+// contract guarantees is shard-local. The allowlist is the reviewed
+// boundary, not a purity proof.
+var ShardLocalAnalyzer = &Analyzer{
+	Name: "shardlocal",
+	Doc:  "forbid non-allowlisted shared-state access (Machine/PageTable/L1/Fabric methods, Machine field writes) in //repro:shardlocal functions",
+	Run:  runShardLocal,
+}
+
+// shardSharedTypes maps each watched shared-state type to the methods
+// a shard-owned code path may call on it. Machine.access is the
+// commit path's re-execution of a scan-proven L1 hit; nodeOf, cpusOf
+// and schedFor are pure topology lookups; PageTable.Entry is a pure
+// read once the table is presized; L1.Lookup probes the direct-mapped
+// cache without touching recency state. Fabric has no admissible
+// calls: shard-local events never inject messages.
+var shardSharedTypes = map[string]map[string]bool{
+	"Machine":   {"access": true, "nodeOf": true, "cpusOf": true, "schedFor": true},
+	"PageTable": {"Entry": true},
+	"PageInfo":  {},
+	"L1":        {"Lookup": true},
+	"Fabric":    {},
+}
+
+func runShardLocal(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcIsShardLocal(pass, f, fd) {
+				continue
+			}
+			checkShardLocalBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// funcIsShardLocal reports whether the declaration carries the
+// //repro:shardlocal directive in its doc comment (or immediately
+// above its first line, for undocumented functions).
+func funcIsShardLocal(pass *Pass, f *ast.File, fd *ast.FuncDecl) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if c.Text == "//repro:shardlocal" {
+				return true
+			}
+		}
+	}
+	return pass.hasDirective(f, fd.Pos(), "repro:shardlocal")
+}
+
+func checkShardLocalBody(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			recv, method, ok := methodReceiver(pass, n)
+			if !ok {
+				return true
+			}
+			allowed, watched := shardSharedTypes[recv]
+			if !watched || allowed[method] {
+				return true
+			}
+			pass.Reportf(n.Pos(), "shard-local %s calls %s.%s: not on the shard-local allowlist (%s); shared-state mutation must go through the coordinator's serial phase", name, recv, method, allowedList(allowed))
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkShardLocalWrite(pass, name, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkShardLocalWrite(pass, name, n.X)
+		}
+		return true
+	})
+}
+
+// checkShardLocalWrite flags a write whose destination dereferences a
+// watched shared-state value: `m.field = x`, `m.mapped[n][p] = true`,
+// `m.pageBusy[p]++`. Rebinding a local variable of the watched type
+// itself (`m = other`) is not a shared-state write.
+func checkShardLocalWrite(pass *Pass, name string, lhs ast.Expr) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if recv, ok := watchedTypeName(pass.TypesInfo.Types[e.X].Type); ok {
+				pass.Reportf(lhs.Pos(), "shard-local %s writes through %s.%s: shared-state writes must go through the coordinator's serial phase", name, recv, e.Sel.Name)
+				return
+			}
+			lhs = e.X
+		default:
+			return
+		}
+	}
+}
+
+// methodReceiver resolves a call's receiver to a watched-type name and
+// method name, when the call is a method call at all.
+func methodReceiver(pass *Pass, call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	sig := obj.Signature()
+	if sig.Recv() == nil {
+		return "", "", false
+	}
+	name, watched := watchedTypeName(sig.Recv().Type())
+	if !watched {
+		return "", "", false
+	}
+	return name, obj.Name(), true
+}
+
+// watchedTypeName returns the shardSharedTypes key for t (pointers
+// dereferenced), if t is one of the watched named types.
+func watchedTypeName(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", false
+	}
+	name := named.Obj().Name()
+	_, watched := shardSharedTypes[name]
+	return name, watched
+}
+
+// allowedList renders an allowlist for diagnostics, sorted for stable
+// output; an empty list reads as "none".
+func allowedList(allowed map[string]bool) string {
+	if len(allowed) == 0 {
+		return "allowed: none"
+	}
+	names := make([]string, 0, len(allowed))
+	for m := range allowed {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	return "allowed: " + strings.Join(names, ", ")
+}

@@ -1,0 +1,88 @@
+// Package dsm is a shardlocal fixture: functions annotated
+// //repro:shardlocal may only touch the shared-state types through
+// the per-type allowlists, and may not write through a Machine.
+package dsm
+
+// Machine mirrors the simulator's shared-state root.
+type Machine struct {
+	phaseDone bool
+	pageBusy  []int64
+	mapped    [][]bool
+	pt        PageTable
+}
+
+func (m *Machine) access(b uint64, write bool) {}
+func (m *Machine) nodeOf(id int) int           { return 0 }
+func (m *Machine) cpusOf(n int) (int, int)     { return 0, 0 }
+func (m *Machine) evictFrame(n int)            {}
+func (m *Machine) unpark(id int)               {}
+
+// PageInfo is a shared page-table entry handed out by reference.
+type PageInfo struct{ Touched bool }
+
+func (e *PageInfo) Poison() {}
+
+// PageTable mirrors the presized page table: Entry is the pure read.
+type PageTable struct{ pages []PageInfo }
+
+func (pt *PageTable) Entry(p int) *PageInfo { return &pt.pages[p] }
+func (pt *PageTable) Presize(n int)         {}
+
+// L1 mirrors the direct-mapped cache: Lookup is the pure probe.
+type L1 struct{}
+
+func (c *L1) Lookup(b uint64) int    { return 0 }
+func (c *L1) Insert(b uint64, s int) {}
+func (c *L1) Invalidate(b uint64)    {}
+
+// Fabric mirrors the interconnect: no calls are admissible.
+type Fabric struct{}
+
+func (f *Fabric) Traverse(s, d, bytes int) int64 { return 0 }
+
+// scanClean is annotated and stays on the allowlists: pure probes,
+// reads of shared fields, the sanctioned access call, and writes to
+// its own unwatched state.
+//
+//repro:shardlocal
+func scanClean(m *Machine, l1 *L1, busy []int64) int64 {
+	e := m.pt.Entry(3)
+	if !e.Touched || m.phaseDone {
+		return 0
+	}
+	clock := m.pageBusy[0]
+	if l1.Lookup(7) != 0 {
+		m.access(7, false)
+		clock += int64(m.nodeOf(1))
+	}
+	busy[0] = clock
+	return clock
+}
+
+// commitBad is annotated and packed with violations: non-allowlisted
+// methods on every watched type plus direct Machine writes.
+//
+//repro:shardlocal
+func commitBad(m *Machine, l1 *L1, f *Fabric) {
+	m.evictFrame(0)      // want `shard-local commitBad calls Machine\.evictFrame`
+	m.unpark(3)          // want `shard-local commitBad calls Machine\.unpark`
+	m.pt.Presize(64)     // want `shard-local commitBad calls PageTable\.Presize`
+	l1.Insert(7, 1)      // want `shard-local commitBad calls L1\.Insert`
+	f.Traverse(0, 1, 64) // want `shard-local commitBad calls Fabric\.Traverse`
+	e := m.pt.Entry(3)
+	e.Poison()            // want `shard-local commitBad calls PageInfo\.Poison`
+	e.Touched = true      // want `shard-local commitBad writes through PageInfo\.Touched`
+	m.phaseDone = true    // want `shard-local commitBad writes through Machine\.phaseDone`
+	m.pageBusy[0] = 9     // want `shard-local commitBad writes through Machine\.pageBusy`
+	m.mapped[1][2] = true // want `shard-local commitBad writes through Machine\.mapped`
+	m.pageBusy[0]++       // want `shard-local commitBad writes through Machine\.pageBusy`
+}
+
+// serialStep is unannotated: the coordinator's serial phase may touch
+// anything, so none of this is flagged.
+func serialStep(m *Machine, l1 *L1) {
+	m.evictFrame(0)
+	m.phaseDone = true
+	m.pageBusy[0] = 9
+	l1.Insert(7, 1)
+}

@@ -9,9 +9,10 @@ import (
 // a bounded, mutex-guarded LRU of complete response bodies keyed by
 // result key. Eviction is by entry count — responses for one build are
 // all within a small constant factor of each other, so a byte budget
-// would buy complexity without changing behavior much. Bodies are
-// written once and never mutated, so Get can hand out the cached slice
-// without copying.
+// would buy complexity without changing behavior much. Both add and
+// get copy: the cache owns its bytes, so neither a caller reusing the
+// buffer it inserted nor one scribbling on a body it was handed can
+// corrupt what the next request is served.
 type resultLRU struct {
 	mu  sync.Mutex
 	max int
@@ -34,7 +35,8 @@ func newResultLRU(max int) *resultLRU {
 	return &resultLRU{max: max, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
-// get returns the cached body for key, refreshing its recency.
+// get returns a copy of the cached body for key, refreshing its
+// recency.
 func (c *resultLRU) get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -43,7 +45,7 @@ func (c *resultLRU) get(key string) ([]byte, bool) {
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).body, true
+	return append([]byte(nil), el.Value.(*lruEntry).body...), true
 }
 
 // add installs (or refreshes) a body under key, evicting the least
@@ -51,6 +53,7 @@ func (c *resultLRU) get(key string) ([]byte, bool) {
 func (c *resultLRU) add(key string, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	body = append([]byte(nil), body...)
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*lruEntry).body = body

@@ -148,6 +148,12 @@ type Server struct {
 	coalesced atomic.Int64
 	rejected  atomic.Int64
 	failed    atomic.Int64
+
+	// coldRuns/coldNanos accumulate completed cold simulations and
+	// their total wall time, so the 429 path can size its Retry-After
+	// hint to the observed mean cold-run latency instead of a constant.
+	coldRuns  atomic.Int64
+	coldNanos atomic.Int64
 }
 
 // New builds a Server that computes cold results by running the
@@ -275,8 +281,11 @@ func (s *Server) Answer(ctx context.Context, q harness.Query) ([]byte, Source, e
 // compute runs a cold query on a pool worker and lands the result in
 // both cache tiers before releasing the flight's waiters.
 func (s *Server) compute(key string, fl *flight, q harness.Query) {
+	start := time.Now()
 	body, err := s.run(s.baseCtx, q)
 	if err == nil {
+		s.coldRuns.Add(1)
+		s.coldNanos.Add(int64(time.Since(start)))
 		s.misses.Add(1)
 		_ = s.store.Save(key, body) // best effort; the result is valid either way
 		s.cache.add(key, body)
@@ -284,6 +293,30 @@ func (s *Server) compute(key string, fl *flight, q harness.Query) {
 		s.failed.Add(1)
 	}
 	s.complete(key, fl, body, err)
+}
+
+// retryAfterSeconds sizes the 429 Retry-After hint to the work ahead
+// of a retrying client: the current backlog (queued + running jobs)
+// divided across the workers, times the observed mean cold-run wall
+// time, rounded up to whole seconds and clamped to [1, 60]. Before the
+// first cold run completes there is no latency observation, so the
+// hint falls back to 1 second.
+func (s *Server) retryAfterSeconds() int {
+	runs := s.coldRuns.Load()
+	if runs == 0 {
+		return 1
+	}
+	mean := time.Duration(s.coldNanos.Load() / runs)
+	backlog := s.pool.Queued() + s.pool.Running()
+	est := mean * time.Duration(backlog) / time.Duration(s.workers)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // complete finalizes a flight: publish the outcome, release the key so
@@ -422,9 +455,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	body, src, err := s.Answer(r.Context(), q)
 	switch {
 	case errors.Is(err, ErrOverloaded):
-		// Retry-After sizes the hint to the queue: a full queue of
-		// simulations takes on the order of seconds to drain one slot.
-		w.Header().Set("Retry-After", "1")
+		// Retry-After sizes the hint to the actual backlog: how long,
+		// at the observed mean cold-run latency, until the pool drains
+		// a slot for the retry.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -454,13 +488,13 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 // queryFromURL decodes a GET query: ?experiment=fig5&apps=radix,lu&
-// systems=ccnuma&fabric=ring&scale=8&scales=8,16&seed=7.
+// systems=ccnuma&fabric=ring&scale=8&scales=8,16&seed=7&shards=4.
 func queryFromURL(r *http.Request) (harness.Query, error) {
 	var q harness.Query
 	v := r.URL.Query()
 	for name := range v {
 		switch name {
-		case "experiment", "apps", "systems", "fabric", "scale", "scales", "seed":
+		case "experiment", "apps", "systems", "fabric", "scale", "scales", "seed", "shards":
 		default:
 			return q, fmt.Errorf("serve: unknown query parameter %q", name)
 		}
@@ -495,6 +529,13 @@ func queryFromURL(r *http.Request) (harness.Query, error) {
 			return q, fmt.Errorf("serve: bad seed %q: %w", s, err)
 		}
 		q.Seed = n
+	}
+	if s := v.Get("shards"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return q, fmt.Errorf("serve: bad shards %q: %w", s, err)
+		}
+		q.Shards = n
 	}
 	return q, nil
 }

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -197,19 +198,24 @@ func TestBackpressure(t *testing.T) {
 	run := &blockingRunner{release: make(chan struct{}), body: []byte("x\n")}
 	s := newServer(Config{Workers: 1, QueueDepth: 1, Commit: "test"}, run.run)
 
-	// Fill the worker and the queue with two distinct cold flights.
+	// Fill the worker and the queue with two distinct cold flights —
+	// strictly in that order. Submitting both concurrently can bounce
+	// the second off the still-occupied queue slot (TrySubmit never
+	// blocks), leaving the Queued spin below waiting forever.
 	errc := make(chan error, 2)
-	for seed := uint64(1); seed <= 2; seed++ {
-		go func(seed uint64) {
+	submit := func(seed uint64) {
+		go func() {
 			_, _, err := s.Answer(context.Background(), testQuery(seed))
 			errc <- err
-		}(seed)
+		}()
 	}
-	// Wait until the worker has actually started one job; the other is
-	// parked in the queue.
+	submit(1)
+	// The runner's first call means the worker dequeued the job, so the
+	// queue slot is free for the second flight.
 	for run.calls.Load() == 0 {
 		runtime.Gosched()
 	}
+	submit(2)
 	for s.pool.Queued() == 0 {
 		runtime.Gosched()
 	}
@@ -220,11 +226,71 @@ func TestBackpressure(t *testing.T) {
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want %d", rec.Code, http.StatusTooManyRequests)
 	}
-	if rec.Header().Get("Retry-After") == "" {
-		t.Fatal("429 without a Retry-After header")
+	// No cold run has completed yet (both flights are still blocked),
+	// so the latency-derived hint falls back to its 1-second floor.
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want %q before any cold-run observation", got, "1")
 	}
 	if st := s.StatusNow(); st.Queries.Rejected != 1 {
 		t.Fatalf("statusz rejected = %d, want 1", st.Queries.Rejected)
+	}
+
+	close(run.release)
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("accepted flight failed: %v", err)
+		}
+	}
+	s.Drain()
+}
+
+// TestRetryAfterScalesWithBacklog: the 429 hint is (backlog / workers)
+// x observed mean cold-run latency, rounded up and clamped to [1, 60]
+// — not a hard-coded constant.
+func TestRetryAfterScalesWithBacklog(t *testing.T) {
+	run := &blockingRunner{release: make(chan struct{}), body: []byte("x\n")}
+	s := newServer(Config{Workers: 1, QueueDepth: 1, Commit: "test"}, run.run)
+
+	// Seed the latency observation directly: one completed cold run
+	// that took 4 seconds of wall time.
+	s.coldRuns.Store(1)
+	s.coldNanos.Store(int64(4 * time.Second))
+
+	// Hold the worker busy and fill the queue: backlog = 2 over 1
+	// worker, so the estimate is 2 x 4s = 8s. Worker first, queue slot
+	// second — concurrent submission can bounce the second flight off
+	// the still-occupied queue slot and deadlock the Queued spin.
+	errc := make(chan error, 2)
+	submit := func(seed uint64) {
+		go func() {
+			_, _, err := s.Answer(context.Background(), testQuery(seed))
+			errc <- err
+		}()
+	}
+	submit(1)
+	for run.calls.Load() == 0 {
+		runtime.Gosched()
+	}
+	submit(2)
+	for s.pool.Queued() == 0 {
+		runtime.Gosched()
+	}
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/query?experiment=fig5&apps=radix&systems=ccnuma&scale=64&seed=3", nil)
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want %d", rec.Code, http.StatusTooManyRequests)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "8" {
+		t.Fatalf("Retry-After = %q, want %q (2 jobs x 4s mean / 1 worker)", got, "8")
+	}
+
+	// A pathological mean clamps at the 60-second ceiling instead of
+	// telling clients to go away for hours.
+	s.coldNanos.Store(int64(2 * time.Hour))
+	if got := s.retryAfterSeconds(); got != 60 {
+		t.Fatalf("retryAfterSeconds = %d, want clamp at 60", got)
 	}
 
 	close(run.release)
@@ -284,6 +350,8 @@ func TestHTTPBadQuery(t *testing.T) {
 		{http.MethodGet, "/query?apps=notanapp", "", http.StatusBadRequest},
 		{http.MethodGet, "/query?bogus=1", "", http.StatusBadRequest},
 		{http.MethodGet, "/query?scale=abc", "", http.StatusBadRequest},
+		{http.MethodGet, "/query?shards=abc", "", http.StatusBadRequest},
+		{http.MethodGet, "/query?shards=3", "", http.StatusBadRequest}, // 3 does not divide the 8-node cluster
 		{http.MethodGet, "/query?experiment=toposweep&fabric=ring", "", http.StatusBadRequest},
 		{http.MethodPost, "/query", `{"experiment":"fig5","bogus":1}`, http.StatusBadRequest},
 		{http.MethodPost, "/query", `not json`, http.StatusBadRequest},
@@ -338,6 +406,23 @@ func TestHTTPEquivalentQueriesShareKey(t *testing.T) {
 	}
 	if !bytes.Equal(recGet.Body.Bytes(), recPost.Body.Bytes()) {
 		t.Fatal("GET and POST bodies differ")
+	}
+
+	// Shards is an execution knob, not an identity field: the sharded
+	// engine is byte-identical to the sequential one, so a query that
+	// differs only in shards= answers from the same cache entry.
+	sharded := httptest.NewRequest(http.MethodGet,
+		"/query?experiment=fig5&apps=radix&systems=CCNUMA&scale=64&seed=7&shards=4", nil)
+	recSharded := httptest.NewRecorder()
+	s.ServeHTTP(recSharded, sharded)
+	if recSharded.Code != http.StatusOK {
+		t.Fatalf("sharded spelling status = %d: %s", recSharded.Code, recSharded.Body)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("simulations = %d, want 1 (shards must not fork the cache key)", calls.Load())
+	}
+	if sk := recSharded.Header().Get("X-Dsm-Key"); sk != recGet.Header().Get("X-Dsm-Key") {
+		t.Fatalf("shards=4 key %q differs from sequential key %q", sk, recGet.Header().Get("X-Dsm-Key"))
 	}
 }
 
@@ -537,5 +622,32 @@ func TestResultLRU(t *testing.T) {
 	}
 	if c.len() != 2 {
 		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+// TestResultLRUDefensiveCopies: the cache owns its bytes. Neither
+// mutating the buffer after add nor scribbling on a body returned by
+// get may change what a later get serves.
+func TestResultLRUDefensiveCopies(t *testing.T) {
+	c := newResultLRU(2)
+	orig := []byte("pristine")
+	c.add("k", orig)
+
+	orig[0] = 'X' // caller reuses its buffer after insertion
+	got, ok := c.get("k")
+	if !ok {
+		t.Fatal("k missing")
+	}
+	if string(got) != "pristine" {
+		t.Fatalf("body = %q, corrupted by post-add mutation of the inserted buffer", got)
+	}
+
+	got[0] = 'Y' // caller scribbles on the body it was handed
+	again, ok := c.get("k")
+	if !ok {
+		t.Fatal("k missing on second get")
+	}
+	if string(again) != "pristine" {
+		t.Fatalf("body = %q, corrupted by mutation of a returned body", again)
 	}
 }
